@@ -1,0 +1,144 @@
+"""Ablation — what each ICO step contributes.
+
+DESIGN.md calls out three design choices inside ICO; this experiment
+switches each off independently and measures the simulated-executor
+slowdown relative to full ICO across the suite and combinations:
+
+* ``merge=False`` — skip step 2's barrier-removing merge,
+* ``balance=False`` — skip step 2's slack vertex assignment,
+* packing inverted — force the opposite of the reuse-ratio choice
+  (separated where interleaved was selected and vice versa; measured
+  under the cache model, since packing is purely a locality effect).
+
+Expected: every ablation is >= 1.0x (the step never hurts on average),
+with balance mattering most on skewed matrices and merge on deep DAGs.
+
+pytest-benchmark: full-ICO scheduling (the ablation baseline).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.fusion import COMBINATIONS, build_combination, fuse
+from repro.runtime import MachineConfig, SimulatedMachine
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import (
+    PAPER_THREADS,
+    geomean,
+    machine_config,
+    print_header,
+    reordered_suite,
+    save_results,
+    scaled_config,
+    small_test_matrix,
+)
+
+
+def run(verbose=True):
+    cfg = machine_config()
+    machine = SimulatedMachine(cfg)
+    rows = []
+    for m in reordered_suite():
+        for cid, combo in sorted(COMBINATIONS.items()):
+            kernels, _ = combo.build(m.matrix)
+            full = fuse(kernels, PAPER_THREADS, validate=False)
+            t_full = machine.simulate(full.schedule, kernels).seconds
+            no_merge = fuse(kernels, PAPER_THREADS, validate=False, merge=False)
+            no_balance = fuse(kernels, PAPER_THREADS, validate=False, balance=False)
+            rows.append(
+                {
+                    "matrix": m.name,
+                    "combo": combo.name,
+                    "no_merge_slowdown": machine.simulate(
+                        no_merge.schedule, kernels
+                    ).seconds
+                    / t_full,
+                    "no_balance_slowdown": machine.simulate(
+                        no_balance.schedule, kernels
+                    ).seconds
+                    / t_full,
+                    "barriers_full": full.schedule.n_spartitions,
+                    "barriers_no_merge": no_merge.schedule.n_spartitions,
+                }
+            )
+    # packing ablation under the cache model, one reference matrix
+    a = small_test_matrix()
+    cache_machine = SimulatedMachine(scaled_config(a, 8))
+    packing_rows = []
+    for cid, combo in sorted(COMBINATIONS.items()):
+        kernels, _ = combo.build(a)
+        chosen = fuse(kernels, 8, validate=False)
+        other = fuse(
+            kernels,
+            8,
+            validate=False,
+            reuse_ratio=0.5 if chosen.reuse_ratio >= 1.0 else 1.5,
+        )
+        t_chosen = cache_machine.simulate(
+            chosen.schedule, kernels, fidelity="cache"
+        ).seconds
+        t_other = cache_machine.simulate(
+            other.schedule, kernels, fidelity="cache"
+        ).seconds
+        packing_rows.append(
+            {
+                "combo": combo.name,
+                "chosen": chosen.schedule.packing,
+                "wrong_packing_slowdown": t_other / t_chosen,
+            }
+        )
+    summary = {
+        "geomean_no_merge": geomean(r["no_merge_slowdown"] for r in rows),
+        "geomean_no_balance": geomean(r["no_balance_slowdown"] for r in rows),
+        "geomean_wrong_packing": geomean(
+            r["wrong_packing_slowdown"] for r in packing_rows
+        ),
+    }
+    if verbose:
+        print_header("ICO ablation: simulated slowdown when a step is disabled")
+        print(f"{'matrix':14s} {'combo':12s} {'no-merge':>9s} {'no-balance':>11s}")
+        for r in rows:
+            print(
+                f"{r['matrix']:14s} {r['combo']:12s} "
+                f"{r['no_merge_slowdown']:8.2f}x {r['no_balance_slowdown']:10.2f}x"
+            )
+        print(f"\n{'combo':12s} {'chosen':12s} {'wrong-packing':>14s}")
+        for r in packing_rows:
+            print(
+                f"{r['combo']:12s} {r['chosen']:12s} "
+                f"{r['wrong_packing_slowdown']:13.2f}x"
+            )
+        print(
+            f"\ngeomean slowdowns: no-merge {summary['geomean_no_merge']:.2f}x, "
+            f"no-balance {summary['geomean_no_balance']:.2f}x, "
+            f"wrong packing {summary['geomean_wrong_packing']:.2f}x"
+        )
+    return {"rows": rows, "packing": packing_rows, "summary": summary}
+
+
+def test_ablation_full_ico(benchmark):
+    a = small_test_matrix()
+    kernels, _ = build_combination(4, a)
+    fl = benchmark(lambda: fuse(kernels, PAPER_THREADS, validate=False))
+    assert fl.schedule.n_spartitions >= 1
+
+
+def test_ablation_steps_do_not_hurt():
+    cfg = machine_config(8)
+    machine = SimulatedMachine(cfg)
+    a = small_test_matrix()
+    ratios = []
+    for cid in COMBINATIONS:
+        kernels, _ = build_combination(cid, a)
+        full = fuse(kernels, 8, validate=False)
+        crippled = fuse(kernels, 8, validate=False, merge=False, balance=False)
+        t_full = machine.simulate(full.schedule, kernels).seconds
+        t_crip = machine.simulate(crippled.schedule, kernels).seconds
+        ratios.append(t_crip / t_full)
+    assert geomean(ratios) >= 1.0
+
+
+if __name__ == "__main__":
+    save_results("ablation_ico", run())

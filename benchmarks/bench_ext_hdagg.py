@@ -1,0 +1,106 @@
+"""Extension — HDagg-style aggregation as a fourth fused baseline.
+
+HDagg (Zarebavani et al., IPDPS'22) postdates LBC and is cited by the
+paper as related work; this experiment adds ``joint-hdagg`` to the
+Fig. 5 comparison to ask: *does a stronger joint-DAG scheduler close
+the gap to sparse fusion?* Expected (and the interesting outcome either
+way): HDagg beats joint-LBC on deep DAGs (cost-capped rounds vs level
+windows) but still pays the joint-DAG inspection and cannot exploit
+pairing/packing, so sparse fusion keeps its edge on the suite.
+
+pytest-benchmark: joint-hdagg scheduling of one combination.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import run_implementation
+from repro.fusion import COMBINATIONS, build_combination, fuse
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import (
+    PAPER_THREADS,
+    geomean,
+    machine_config,
+    print_header,
+    reordered_suite,
+    save_results,
+    small_test_matrix,
+)
+
+NAMES = ("sparse-fusion", "joint-lbc", "joint-hdagg", "joint-wavefront")
+
+
+def run(verbose=True):
+    cfg = machine_config()
+    rows = []
+    for m in reordered_suite():
+        for cid, combo in sorted(COMBINATIONS.items()):
+            kernels, _ = combo.build(m.matrix)
+            res = {
+                n: run_implementation(n, kernels, PAPER_THREADS, cfg)
+                for n in NAMES
+            }
+            rows.append(
+                {
+                    "matrix": m.name,
+                    "combo": combo.name,
+                    **{f"{n}_seconds": res[n].executor_seconds for n in NAMES},
+                    **{
+                        f"{n}_barriers": res[n].schedule.n_spartitions
+                        for n in NAMES
+                    },
+                }
+            )
+    summary = {
+        "hdagg_vs_lbc": geomean(
+            r["joint-lbc_seconds"] / r["joint-hdagg_seconds"] for r in rows
+        ),
+        "fusion_vs_hdagg": geomean(
+            r["joint-hdagg_seconds"] / r["sparse-fusion_seconds"] for r in rows
+        ),
+        "hdagg_beats_lbc_rate": sum(
+            1 for r in rows if r["joint-hdagg_seconds"] <= r["joint-lbc_seconds"]
+        )
+        / len(rows),
+    }
+    if verbose:
+        print_header("Extension: HDagg as a fourth fused baseline")
+        print(f"{'matrix':14s} {'combo':12s} {'fusion':>9s} {'hdagg':>9s} "
+              f"{'lbc':>9s} {'wavefront':>10s}")
+        for r in rows:
+            print(
+                f"{r['matrix']:14s} {r['combo']:12s} "
+                f"{r['sparse-fusion_seconds'] * 1e6:8.1f}u "
+                f"{r['joint-hdagg_seconds'] * 1e6:8.1f}u "
+                f"{r['joint-lbc_seconds'] * 1e6:8.1f}u "
+                f"{r['joint-wavefront_seconds'] * 1e6:9.1f}u"
+            )
+        print(
+            f"\njoint-hdagg vs joint-lbc: {summary['hdagg_vs_lbc']:.2f}x "
+            f"(beats it on {summary['hdagg_beats_lbc_rate'] * 100:.0f}% of cases); "
+            f"sparse fusion vs joint-hdagg: {summary['fusion_vs_hdagg']:.2f}x"
+        )
+    return {"rows": rows, "summary": summary}
+
+
+def test_ext_hdagg_scheduling(benchmark):
+    a = small_test_matrix()
+    kernels, _ = build_combination(4, a)
+    fl = benchmark(
+        lambda: fuse(kernels, PAPER_THREADS, scheduler="joint-hdagg", validate=False)
+    )
+    assert fl.schedule.n_spartitions >= 1
+
+
+def test_ext_hdagg_valid_on_reference():
+    a = small_test_matrix()
+    for cid in COMBINATIONS:
+        kernels, _ = build_combination(cid, a)
+        fl = fuse(kernels, 8, scheduler="joint-hdagg")
+        fl.validate()
+
+
+if __name__ == "__main__":
+    save_results("ext_hdagg", run())

@@ -1,0 +1,120 @@
+"""Figure 6 — memory access latency and OpenMP potential gain.
+
+Reproduces the two bars-per-combination plots for the ``bone010``
+stand-in: average memory access latency (top, from the LRU cache
+simulator — the paper uses PAPI counters) and potential gain (bottom,
+wait-at-barrier overhead per thread — the paper uses VTune), for sparse
+fusion, fused LBC and ParSy, normalized to ParSy.
+
+Expected shapes from the paper:
+
+* combos with reuse >= 1 (1, 2, 4, 5, 6): ParSy's latency is above
+  sparse fusion's (interleaved packing exploits cross-kernel reuse
+  ParSy cannot see), with fused-LBC close to sparse fusion;
+* combo 3 (reuse < 1): fused-LBC's latency gap is *larger* than
+  ParSy's, because interleaving hurts when kernels share little;
+* potential gain of sparse fusion below ParSy (merging removes
+  barriers and slack assignment balances).
+
+pytest-benchmark: one cache-fidelity simulation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import run_implementation
+from repro.fusion import COMBINATIONS, build_combination
+from repro.runtime.metrics import potential_gain
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import machine_config, print_header, save_results, scaled_config, small_test_matrix
+
+IMPLS = ("sparse-fusion", "joint-lbc", "parsy")
+
+
+def bone010_standin():
+    """A 27-point 3-D FE matrix (see repro.sparse.fe_3d_27pt): bone010's
+    defining property for this figure is its high nnz/row (~72), which
+    makes matrix-value traffic dominate — the 7-point Laplacian's ~6
+    nnz/row would drown the locality signal in vector-gather misses."""
+    from repro.sparse import apply_ordering, fe_3d_27pt
+
+    a, _ = apply_ordering(fe_3d_27pt(9), "nd")
+    return a
+
+
+def run(a=None, n_threads=8, verbose=True):
+    a = a if a is not None else bone010_standin()
+    cfg = scaled_config(a, n_threads)
+    rows = []
+    for cid, combo in sorted(COMBINATIONS.items()):
+        kernels, _ = combo.build(a)
+        lat = {}
+        gain = {}
+        for name in IMPLS:
+            res = run_implementation(name, kernels, n_threads, cfg, fidelity="cache")
+            lat[name] = res.report.avg_memory_latency
+            gain[name] = potential_gain(res.report, cfg)
+        base_lat = lat["parsy"] or 1.0
+        base_gain = gain["parsy"] or 1.0
+        rows.append(
+            {
+                "combo": combo.name,
+                "combo_id": cid,
+                "reuse_ge_1": combo.expected_reuse_ge_1,
+                "latency": lat,
+                "latency_normalized": {k: v / base_lat for k, v in lat.items()},
+                "potential_gain": gain,
+                "gain_normalized": {k: v / base_gain for k, v in gain.items()},
+            }
+        )
+    if verbose:
+        print_header(
+            "Figure 6: memory latency (top) & potential gain (bottom), "
+            "normalized to ParSy"
+        )
+        print(f"{'combo':12s} | {'SF lat':>7s} {'LBC lat':>8s} {'ParSy':>6s} | "
+              f"{'SF gain':>8s} {'LBC gain':>9s} {'ParSy':>6s}")
+        for r in rows:
+            ln = r["latency_normalized"]
+            gn = r["gain_normalized"]
+            print(
+                f"{r['combo']:12s} | {ln['sparse-fusion']:7.2f} "
+                f"{ln['joint-lbc']:8.2f} {1.0:6.2f} | "
+                f"{gn['sparse-fusion']:8.2f} {gn['joint-lbc']:9.2f} {1.0:6.2f}"
+            )
+        high = [r for r in rows if r["reuse_ge_1"]]
+        ratio = sum(
+            1.0 / max(r["latency_normalized"]["sparse-fusion"], 1e-9) for r in high
+        ) / len(high)
+        print(
+            f"\nreuse>=1 combos: ParSy latency is on average {ratio:.2f}x "
+            f"sparse fusion's (paper: 1.3x)"
+        )
+    return rows
+
+
+def test_fig6_cache_simulation(benchmark):
+    a = small_test_matrix()
+    kernels, _ = build_combination(1, a)
+    cfg = machine_config(4)
+    res = benchmark(
+        lambda: run_implementation(
+            "sparse-fusion", kernels, 4, cfg, fidelity="cache"
+        )
+    )
+    assert res.report.avg_memory_latency > 0
+
+
+def test_fig6_fusion_latency_not_worse_than_parsy():
+    rows = run(verbose=False, n_threads=4)
+    high = [r for r in rows if r["reuse_ge_1"]]
+    better = sum(
+        1 for r in high if r["latency_normalized"]["sparse-fusion"] <= 1.02
+    )
+    assert better >= len(high) - 1
+
+
+if __name__ == "__main__":
+    save_results("fig6_locality_balance", {"rows": run()})

@@ -1,0 +1,110 @@
+"""Figure 7 — number of executor runs (NER) to amortize the inspector.
+
+``NER = inspector_time / (baseline_time - executor_time)`` where the
+baseline is plain sequential unfused execution. Negative NER means the
+executor never beats the baseline (inspection cannot amortize); lower
+positive values are better. The paper shows TRSV-MV and ILU0-TRSV;
+expected shape: sparse fusion / ParSy / MKL have the lowest NER,
+fused-LBC needs tens-to-hundreds of runs (chordalization dominates),
+fused-DAGP is negative or very high.
+
+The inspector time is *measured wall-clock* of our Python inspectors;
+executor and baseline times come from the simulated machine — mixing is
+deliberate: the paper's claim is about relative inspection effort across
+tools on the same inputs, and every tool here pays Python costs.
+
+pytest-benchmark: the sparse-fusion inspector (the quantity whose
+smallness the paper credits to one-DAG-at-a-time pairing).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.baselines import run_implementation, sequential_baseline_seconds
+from repro.fusion import COMBINATIONS, build_combination
+from repro.runtime.metrics import ner
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import (
+    PAPER_THREADS,
+    machine_config,
+    print_header,
+    reordered_suite,
+    save_results,
+    small_test_matrix,
+)
+
+IMPLS = ("sparse-fusion", "parsy", "mkl", "joint-wavefront", "joint-lbc", "joint-dagp")
+COMBOS = (3, 5)  # TRSV-MV and ILU0-TRSV, as in the paper
+
+
+def run(verbose=True):
+    cfg = machine_config()
+    rows = []
+    for m in reordered_suite():
+        for cid in COMBOS:
+            combo = COMBINATIONS[cid]
+            kernels, _ = combo.build(m.matrix)
+            baseline = sequential_baseline_seconds(kernels, cfg)
+            entry = {"matrix": m.name, "nnz": m.nnz, "combo": combo.name}
+            for name in IMPLS:
+                kwargs = {"chordalize": True} if name == "joint-lbc" else None
+                res = run_implementation(
+                    name, kernels, PAPER_THREADS, cfg, scheduler_kwargs=kwargs
+                )
+                entry[name] = ner(
+                    res.inspector_seconds, baseline, res.executor_seconds
+                )
+            rows.append(entry)
+    if verbose:
+        print_header("Figure 7: executor runs to amortize the inspector (NER)")
+        for cid in COMBOS:
+            combo = COMBINATIONS[cid]
+            print(f"\n-- {combo.name} -- (negative = never amortizes)")
+            print(f"{'matrix':14s} " + " ".join(f"{n:>11s}" for n in IMPLS))
+            for r in rows:
+                if r["combo"] != combo.name:
+                    continue
+                cells = []
+                for n in IMPLS:
+                    v = r[n]
+                    v = max(min(v, 9999), -9999)
+                    cells.append(f"{v:11.1f}")
+                print(f"{r['matrix']:14s} " + " ".join(cells))
+        med = {
+            n: float(np.median([r[n] for r in rows if r[n] > 0] or [-1]))
+            for n in IMPLS
+        }
+        print("\nmedian positive NER per implementation:")
+        for n, v in med.items():
+            print(f"  {n:16s} {v:8.1f}")
+    return rows
+
+
+def test_fig7_inspector_cost(benchmark):
+    from repro.fusion import fuse
+
+    a = small_test_matrix()
+    kernels, _ = build_combination(3, a)
+    fl = benchmark(lambda: fuse(kernels, 8, validate=False))
+    assert fl.inspector_seconds > 0
+
+
+def test_fig7_fusion_ner_below_joint_lbc():
+    cfg = machine_config(8)
+    a = small_test_matrix()
+    kernels, _ = build_combination(3, a)
+    baseline = sequential_baseline_seconds(kernels, cfg)
+    sf = run_implementation("sparse-fusion", kernels, 8, cfg)
+    jl = run_implementation("joint-lbc", kernels, 8, cfg)
+    ner_sf = ner(sf.inspector_seconds, baseline, sf.executor_seconds)
+    ner_jl = ner(jl.inspector_seconds, baseline, jl.executor_seconds)
+    if ner_sf > 0 and ner_jl > 0:
+        assert ner_sf <= ner_jl * 1.5
+
+
+if __name__ == "__main__":
+    save_results("fig7_ner", {"rows": run()})

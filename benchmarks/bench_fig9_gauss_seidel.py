@@ -1,0 +1,141 @@
+"""Figure 9 — Gauss-Seidel end-to-end with multi-loop fusion.
+
+For every suite matrix, solve ``A x = b`` with backward GS to relative
+residual 1e-6 (or 1000 iterations) using GS-ParSy (unfused), GS sparse
+fusion, and GS joint-DAG (best of joint methods), exhaustively searching
+the fusion depth over 2–6 loops (unroll 1–3) and keeping the fastest —
+the paper's protocol. Reports simulated solve seconds (lower is better),
+the win rate of sparse fusion (paper: 96%), the average speedups
+(paper: 1.3x over ParSy, 1.8x over joint-DAG), and the distribution of
+winning fusion depths (paper: 37% two, 8% four, 55% six loops).
+
+pytest-benchmark: one fused GS chunk schedule construction + execution.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.solvers import (
+    gauss_seidel,
+    gauss_seidel_simulated,
+    gs_iterations_to_converge,
+)
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import geomean, print_header, reordered_suite, save_results, small_test_matrix
+
+UNROLLS = (1, 2, 3)  # 2, 4, 6 fused loops
+METHODS = ("parsy", "sparse-fusion", "joint-lbc", "joint-wavefront")
+
+
+def best_solve(a, b, method, iterations, n_threads=8):
+    """Fastest (simulated) GS solve over the unroll search space.
+
+    Convergence iteration counts are method-independent (every schedule
+    computes the same fixed point), so they are measured once with the
+    vectorized sweep and each configuration is then priced on the
+    machine model.
+    """
+    best = None
+    for unroll in UNROLLS:
+        r = gauss_seidel_simulated(
+            a, b, iterations=iterations, unroll=unroll,
+            method=method, n_threads=n_threads,
+        )
+        if best is None or r.simulated_solve_seconds < best.simulated_solve_seconds:
+            best = r
+    return best
+
+
+def run(verbose=True):
+    rows = []
+    for m in reordered_suite():
+        rng = np.random.default_rng(1)
+        b = rng.random(m.matrix.n_rows)
+        iters = gs_iterations_to_converge(m.matrix, b, tol=1e-6, max_iters=1000)
+        parsy = best_solve(m.matrix, b, "parsy", iters)
+        fusion = best_solve(m.matrix, b, "sparse-fusion", iters)
+        joint = min(
+            (
+                best_solve(m.matrix, b, meth, iters)
+                for meth in ("joint-lbc", "joint-wavefront")
+            ),
+            key=lambda r: r.simulated_solve_seconds,
+        )
+        rows.append(
+            {
+                "matrix": m.name,
+                "nnz": m.nnz,
+                "gs_iterations": iters,
+                "parsy_seconds": parsy.simulated_solve_seconds,
+                "fusion_seconds": fusion.simulated_solve_seconds,
+                "joint_seconds": joint.simulated_solve_seconds,
+                "fusion_loops": 2 * fusion.unroll,
+                "iterations": fusion.iterations,
+                "converged": fusion.converged,
+            }
+        )
+    speedup_parsy = [r["parsy_seconds"] / r["fusion_seconds"] for r in rows]
+    speedup_joint = [r["joint_seconds"] / r["fusion_seconds"] for r in rows]
+    summary = {
+        "geomean_vs_parsy": geomean(speedup_parsy),
+        "geomean_vs_joint": geomean(speedup_joint),
+        "win_rate": sum(
+            1 for p, j in zip(speedup_parsy, speedup_joint) if p >= 1 and j >= 1
+        )
+        / len(rows),
+        "depth_distribution": {
+            d: sum(1 for r in rows if r["fusion_loops"] == d) / len(rows)
+            for d in (2, 4, 6)
+        },
+    }
+    if verbose:
+        print_header("Figure 9: Gauss-Seidel, fused vs unfused (simulated s)")
+        print(f"{'matrix':14s} {'nnz':>8s} {'ParSy':>9s} {'fusion':>9s} "
+              f"{'joint':>9s} {'loops':>5s} {'iters':>6s}")
+        for r in rows:
+            print(
+                f"{r['matrix']:14s} {r['nnz']:8d} "
+                f"{r['parsy_seconds'] * 1e3:8.2f}m {r['fusion_seconds'] * 1e3:8.2f}m "
+                f"{r['joint_seconds'] * 1e3:8.2f}m {r['fusion_loops']:5d} "
+                f"{r['iterations']:6d}"
+            )
+        print(
+            f"\nGS fusion speedup: {summary['geomean_vs_parsy']:.2f}x over "
+            f"ParSy (paper: 1.3x), {summary['geomean_vs_joint']:.2f}x over "
+            f"joint-DAG (paper: 1.8x); wins {summary['win_rate'] * 100:.0f}% "
+            f"(paper: 96%)"
+        )
+        print(f"winning fusion depths: {summary['depth_distribution']}")
+    return {"rows": rows, "summary": summary}
+
+
+def test_fig9_fused_gs_chunk(benchmark):
+    a = small_test_matrix()
+    rng = np.random.default_rng(0)
+    b = rng.random(a.n_rows)
+
+    def chunk():
+        return gauss_seidel(
+            a, b, tol=0.0, max_iters=2, unroll=2, method="sparse-fusion"
+        )
+
+    r = benchmark(chunk)
+    assert r.iterations == 2
+
+
+def test_fig9_fusion_beats_parsy():
+    a = small_test_matrix()
+    rng = np.random.default_rng(0)
+    b = rng.random(a.n_rows)
+    iters = gs_iterations_to_converge(a, b, tol=1e-6, max_iters=300)
+    fusion = best_solve(a, b, "sparse-fusion", iters)
+    parsy = best_solve(a, b, "parsy", iters)
+    assert fusion.simulated_solve_seconds <= parsy.simulated_solve_seconds
+
+
+if __name__ == "__main__":
+    save_results("fig9_gauss_seidel", run())

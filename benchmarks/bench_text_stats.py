@@ -1,0 +1,151 @@
+"""Section 4.2 textual statistics.
+
+Three claims from the paper's prose, measured on the suite:
+
+* "the average number of edges per vertex increases between 0.2–40%
+  after fusion" — edge growth from the inter-DAG matrix ``F``;
+* "merging in sparse fusion reduces the number of synchronizations in
+  the fused code on average by 50% compared to that of ParSy" (33% for
+  the factorization combos) — barrier counts;
+* "the selected packing strategy improves the performance in 88% of
+  kernel combinations and matrices" — packing-choice win rate under the
+  cache-fidelity model.
+
+pytest-benchmark: the edge-growth computation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.baselines import parsy_schedule, run_implementation
+from repro.fusion import COMBINATIONS, build_combination, fuse
+from repro.fusion.fused import inspect_loops
+from repro.runtime import MachineConfig, SimulatedMachine
+from repro.runtime.metrics import barrier_reduction, fusion_edge_growth
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+from common import (
+    PAPER_THREADS,
+    geomean,
+    print_header,
+    reordered_suite,
+    save_results,
+    small_test_matrix,
+)
+
+
+def run(verbose=True):
+    growth_rows = []
+    barrier_rows = []
+    packing_rows = []
+    cache_cfg = None
+    suite = reordered_suite()
+    for m in suite:
+        for cid, combo in sorted(COMBINATIONS.items()):
+            kernels, _ = combo.build(m.matrix)
+            dags, inter, reuse = inspect_loops(kernels)
+            growth_rows.append(
+                {
+                    "matrix": m.name,
+                    "combo": combo.name,
+                    "edge_growth": fusion_edge_growth(dags, inter),
+                }
+            )
+            fused = fuse(kernels, PAPER_THREADS, validate=False)
+            parsy = parsy_schedule(kernels, PAPER_THREADS)
+            barrier_rows.append(
+                {
+                    "matrix": m.name,
+                    "combo": combo.name,
+                    "reduction": barrier_reduction(
+                        parsy.n_spartitions, fused.schedule.n_spartitions
+                    ),
+                }
+            )
+    # packing win rate on the reference matrix (cache fidelity is slow)
+    a = small_test_matrix()
+    from common import scaled_config
+
+    cfg = scaled_config(a, 8)
+    machine = SimulatedMachine(cfg)
+    for cid, combo in sorted(COMBINATIONS.items()):
+        kernels, _ = combo.build(a)
+        chosen = fuse(kernels, 8, validate=False)
+        other_reuse = 0.5 if chosen.reuse_ratio >= 1.0 else 1.5
+        other = fuse(kernels, 8, reuse_ratio=other_reuse, validate=False)
+        t_chosen = machine.simulate(
+            chosen.schedule, kernels, fidelity="cache"
+        ).total_cycles
+        t_other = machine.simulate(
+            other.schedule, kernels, fidelity="cache"
+        ).total_cycles
+        packing_rows.append(
+            {
+                "combo": combo.name,
+                "chosen": chosen.schedule.packing,
+                "chosen_cycles": t_chosen,
+                "other_cycles": t_other,
+                "win": bool(t_chosen <= t_other),
+            }
+        )
+    growth = [r["edge_growth"] for r in growth_rows if np.isfinite(r["edge_growth"])]
+    summary = {
+        "edge_growth_min": float(min(growth)),
+        "edge_growth_max": float(max(growth)),
+        "mean_barrier_reduction": float(
+            np.mean([r["reduction"] for r in barrier_rows])
+        ),
+        "packing_win_rate": sum(r["win"] for r in packing_rows) / len(packing_rows),
+    }
+    if verbose:
+        print_header("Section 4.2 text statistics")
+        print(
+            f"edge growth after fusion: {summary['edge_growth_min'] * 100:.1f}% "
+            f"- {summary['edge_growth_max'] * 100:.1f}% (paper: 0.2% - 40%)"
+        )
+        print(
+            f"mean barrier reduction vs ParSy: "
+            f"{summary['mean_barrier_reduction'] * 100:.0f}% (paper: 33-50%)"
+        )
+        print(
+            f"packing choice wins in {summary['packing_win_rate'] * 100:.0f}% "
+            f"of combos (paper: 88%)"
+        )
+    return {
+        "growth": growth_rows,
+        "barriers": barrier_rows,
+        "packing": packing_rows,
+        "summary": summary,
+    }
+
+
+def test_text_edge_growth(benchmark, ):
+    a = small_test_matrix()
+    kernels, _ = build_combination(1, a)
+
+    def compute():
+        dags, inter, _ = inspect_loops(kernels)
+        return fusion_edge_growth(dags, inter)
+
+    g = benchmark(compute)
+    assert g >= 0
+
+
+def test_text_merging_reduces_barriers():
+    a = small_test_matrix()
+    reductions = []
+    for cid in COMBINATIONS:
+        kernels, _ = build_combination(cid, a)
+        fused = fuse(kernels, 8, validate=False)
+        parsy = parsy_schedule(kernels, 8)
+        reductions.append(
+            barrier_reduction(parsy.n_spartitions, fused.schedule.n_spartitions)
+        )
+    assert np.mean(reductions) > 0.2
+
+
+if __name__ == "__main__":
+    save_results("text_stats", run())

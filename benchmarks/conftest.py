@@ -1,0 +1,6 @@
+"""Make the benchmark modules importable from each other under pytest."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,67 @@
+"""Inspector tour: what sparse fusion's inspector sees, for all of Table 1.
+
+Walks every kernel combination on one matrix and prints the inspector's
+three products — the per-kernel DAGs, the inter-kernel dependency matrix
+``F``, and the reuse ratio — plus the decisions they drive (head DAG
+selection, packing strategy). The numbers here are exactly the inputs of
+Algorithm 1 in the paper.
+
+Run:  python examples/inspector_tour.py
+"""
+
+import numpy as np
+
+from repro.fusion import COMBINATIONS, build_combination
+from repro.fusion.fused import inspect_loops
+from repro.runtime.metrics import fusion_edge_growth
+from repro.sparse import apply_ordering, laplacian_3d
+
+
+def describe_f(f) -> str:
+    """Classify an F matrix's shape (diagonal / pattern / other)."""
+    if f.nnz == 0:
+        return "empty"
+    edges = f.edge_list()
+    if f.nnz == f.n_second and np.all(edges[:, 0] == edges[:, 1]):
+        return "diagonal (iteration i feeds iteration i)"
+    per_consumer = f.nnz / max(1, f.n_second)
+    return f"pattern-like ({per_consumer:.1f} producers per consumer)"
+
+
+def main() -> None:
+    a, _ = apply_ordering(laplacian_3d(8), "nd")
+    print(f"matrix: n={a.n_rows}, nnz={a.nnz} (ND-reordered 3-D Poisson)\n")
+    for cid, combo in sorted(COMBINATIONS.items()):
+        kernels, _ = build_combination(cid, a)
+        dags, inter, reuse = inspect_loops(kernels)
+        g1, g2 = dags
+        f = inter.get((0, 1))
+        head = 1 if g2.has_edges else 0
+        packing = "interleaved" if reuse >= 1.0 else "separated"
+        print(f"combination {cid}: {combo.name}  ({combo.operations})")
+        print(
+            f"  G1: {kernels[0].name:20s} "
+            f"{'CD  ' if g1.has_edges else 'Par '} "
+            f"edges={g1.n_edges:6d} wavefronts={g1.n_wavefronts}"
+        )
+        print(
+            f"  G2: {kernels[1].name:20s} "
+            f"{'CD  ' if g2.has_edges else 'Par '} "
+            f"edges={g2.n_edges:6d} wavefronts={g2.n_wavefronts}"
+        )
+        print(f"  F : {f.nnz if f else 0} edges — {describe_f(f) if f else 'none'}")
+        print(
+            f"  edge growth from fusion: "
+            f"{100 * fusion_edge_growth(dags, inter):.1f}% "
+            f"(paper reports 0.2-40% across its suite)"
+        )
+        print(
+            f"  reuse ratio {reuse:.3f} (paper: "
+            f"{'>= 1' if combo.expected_reuse_ge_1 else '< 1'}) "
+            f"-> {packing} packing; head DAG = G{head + 1}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

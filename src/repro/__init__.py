@@ -1,0 +1,57 @@
+"""repro — Sparse Fusion: runtime composition of iterations for fusing
+loop-carried sparse dependence.
+
+A from-scratch Python reproduction of Cheshmi, Strout & Mehri Dehnavi,
+*"Runtime Composition of Iterations for Fusing Loop-carried Sparse
+Dependence"*, SC '23. See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for paper-vs-measured results.
+
+Quickstart::
+
+    import numpy as np
+    from repro import fuse
+    from repro.sparse import laplacian_2d, apply_ordering
+    from repro.kernels import SpTRSVCSR, SpMVCSC
+
+    a, _ = apply_ordering(laplacian_2d(32), "nd")   # METIS-style reorder
+    low = a.lower_triangle()
+    k1 = SpTRSVCSR(low, b_var="x0", x_var="y")       # y = L^-1 x0
+    k2 = SpMVCSC(a.to_csc(), x_var="y", y_var="z")   # z = A y
+    fused = fuse([k1, k2], n_threads=8)              # inspector + ICO
+
+    state = fused.allocate_state()
+    state["Lx"][:] = low.data
+    state["Ax"][:] = a.to_csc().data
+    state["x0"][:] = np.random.default_rng(0).random(a.n_rows)
+    fused.execute(state)                             # fused executor
+    report = fused.simulate()                        # simulated machine
+"""
+
+from .fusion import (
+    COMBINATIONS,
+    FusedLoops,
+    KernelCombination,
+    build_combination,
+    build_inter_dep,
+    compute_reuse,
+    fuse,
+)
+from .runtime import MachineConfig, SimulatedMachine
+from .schedule import FusedSchedule, validate_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "fuse",
+    "FusedLoops",
+    "COMBINATIONS",
+    "KernelCombination",
+    "build_combination",
+    "build_inter_dep",
+    "compute_reuse",
+    "MachineConfig",
+    "SimulatedMachine",
+    "FusedSchedule",
+    "validate_schedule",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baseline implementations and the comparison harness."""
+
+from .harness import (
+    IMPLEMENTATIONS,
+    MKL_EFFICIENCY,
+    ImplementationResult,
+    best_of,
+    compare_implementations,
+    run_implementation,
+    sequential_baseline_seconds,
+)
+from .unfused import mkl_like_schedule, parsy_schedule, sequential_schedule
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "MKL_EFFICIENCY",
+    "ImplementationResult",
+    "best_of",
+    "compare_implementations",
+    "run_implementation",
+    "sequential_baseline_seconds",
+    "mkl_like_schedule",
+    "parsy_schedule",
+    "sequential_schedule",
+]

@@ -1,0 +1,80 @@
+"""Unfused baselines: ParSy and MKL-like.
+
+Both optimize each kernel separately and run the loops back to back
+(every cross-loop dependence is satisfied by the phase barrier between
+loops):
+
+* **ParSy** applies LBC to each DAG that has edges; parallel loops run
+  all iterations in one s-partition (cost-chunked) — exactly the paper's
+  description of its ParSy configuration.
+* **MKL-like** models Intel MKL's inspector-executor routines: SpTRSV
+  executes with internal level scheduling (wavefront), SpMV/DSCAL as one
+  parallel region, and SpILU0/SpIC0 *sequentially* (MKL only ships
+  ``dcsrilu0`` sequentially — the reason the paper excludes ILU0-TRSV
+  MKL speedups from its averages). MKL's hand-vectorized kernels are
+  modeled by a compute-efficiency factor < 1 in the machine model, set
+  in :mod:`repro.baselines.harness`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.base import Kernel
+from ..schedule.lbc import lbc_schedule
+from ..schedule.schedule import FusedSchedule, concatenate_schedules
+from ..schedule.wavefront import wavefront_schedule
+from ..sparse.base import INDEX_DTYPE
+
+__all__ = ["parsy_schedule", "mkl_like_schedule", "sequential_schedule"]
+
+_SEQUENTIAL_IN_MKL = ("SpILU0-CSR", "SpIC0-CSC")
+
+
+def parsy_schedule(
+    kernels: list[Kernel],
+    r: int,
+    *,
+    initial_cut: int = 1,
+    coarsening_factor: int = 400,
+) -> FusedSchedule:
+    """Unfused ParSy: LBC per kernel, loops executed back to back."""
+    parts = [
+        lbc_schedule(
+            k.intra_dag(),
+            r,
+            initial_cut=initial_cut,
+            coarsening_factor=coarsening_factor,
+        )
+        for k in kernels
+    ]
+    sched = concatenate_schedules(parts)
+    sched.meta["scheduler"] = "parsy"
+    return sched
+
+
+def mkl_like_schedule(kernels: list[Kernel], r: int) -> FusedSchedule:
+    """Unfused MKL model: wavefront SpTRSV, flat parallel SpMV/DSCAL,
+    sequential incomplete factorizations."""
+    parts = []
+    for k in kernels:
+        dag = k.intra_dag()
+        if k.name in _SEQUENTIAL_IN_MKL:
+            parts.append(sequential_schedule(k))
+        elif dag.has_edges:
+            parts.append(wavefront_schedule(dag, r))
+        else:
+            parts.append(wavefront_schedule(dag, r))  # 1 level, r chunks
+    sched = concatenate_schedules(parts)
+    sched.meta["scheduler"] = "mkl"
+    sched.meta["sequential_loops"] = [
+        i for i, k in enumerate(kernels) if k.name in _SEQUENTIAL_IN_MKL
+    ]
+    return sched
+
+
+def sequential_schedule(kernel: Kernel) -> FusedSchedule:
+    """One loop, one s-partition, one w-partition: plain sequential."""
+    n = kernel.n_iterations
+    verts = np.arange(n, dtype=INDEX_DTYPE)
+    return FusedSchedule((n,), [[verts]] if n else [], packing="none")

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Matrix and dependence-DAG statistics for a matrix spec.
+``fuse``
+    Run the inspector + a scheduler on a Table 1 combination; print the
+    schedule profile; optionally persist the schedule (``--save``).
+``compare``
+    The Fig. 5 comparison (all implementations) for one combination.
+``gs``
+    Solve ``A x = b`` with fused backward Gauss-Seidel.
+
+Matrix specs are either a Matrix Market path (``path/to/m.mtx``) or a
+synthetic generator spec: ``lap2d:N``, ``lap3d:N``, ``fe3d:N``,
+``band:N,BW``, ``rand:N[,NNZ_PER_ROW]``, ``pow:N[,NNZ_PER_ROW]``,
+``arrow:N``, ``chained:BLOCKS,SIZE``. Every
+matrix is ND-reordered unless ``--ordering natural`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .baselines import IMPLEMENTATIONS, compare_implementations
+from .fusion import COMBINATIONS, build_combination, fuse
+from .graph import DAG
+from .runtime import MachineConfig
+from .runtime.profiling import format_profile, profile_schedule
+from .schedule import pattern_fingerprint, save_schedule
+from .sparse import (
+    apply_ordering,
+    arrow_spd,
+    banded_spd,
+    chained_spd,
+    fe_3d_27pt,
+    laplacian_2d,
+    laplacian_3d,
+    powerlaw_spd,
+    random_spd,
+    read_matrix_market,
+)
+
+__all__ = ["main", "parse_matrix_spec"]
+
+_GENERATORS = {
+    "lap2d": lambda args: laplacian_2d(int(args[0])),
+    "lap3d": lambda args: laplacian_3d(int(args[0])),
+    "fe3d": lambda args: fe_3d_27pt(int(args[0])),
+    "band": lambda args: banded_spd(int(args[0]), int(args[1])),
+    "rand": lambda args: random_spd(
+        int(args[0]), float(args[1]) if len(args) > 1 else 8.0
+    ),
+    "pow": lambda args: powerlaw_spd(
+        int(args[0]), float(args[1]) if len(args) > 1 else 8.0
+    ),
+    "arrow": lambda args: arrow_spd(int(args[0])),
+    "chained": lambda args: chained_spd(int(args[0]), int(args[1])),
+}
+
+
+def parse_matrix_spec(spec: str):
+    """Resolve a matrix spec (generator string or ``.mtx`` path)."""
+    if ":" in spec and spec.split(":", 1)[0] in _GENERATORS:
+        name, rest = spec.split(":", 1)
+        return _GENERATORS[name](rest.split(","))
+    return read_matrix_market(spec)
+
+
+def _load(args):
+    a = parse_matrix_spec(args.matrix)
+    if args.ordering != "natural":
+        a, _ = apply_ordering(a, args.ordering)
+    return a
+
+
+def _cmd_info(args) -> int:
+    from .sparse import analyze_matrix
+
+    a = _load(args)
+    s = analyze_matrix(a)
+    print(f"matrix   : n={s.n}, nnz={s.nnz}, density={s.density:.2e}")
+    print(f"pattern  : bandwidth={s.bandwidth}, profile={s.profile:.1f}, "
+          f"symmetric={s.symmetric_pattern}")
+    print(f"rows     : nnz mean={s.row_nnz_mean:.1f}, max={s.row_nnz_max}, "
+          f"cv={s.row_nnz_cv:.2f}")
+    print(f"DAG      : edges={s.dag_edges}, wavefronts={s.wavefronts}, "
+          f"parallelism={s.parallelism:.1f}")
+    print(f"wavefront widths: max={s.max_wavefront_width}, "
+          f"mean={s.mean_wavefront_width:.1f}")
+    print(f"slack    : {100 * s.slack_fraction:.0f}% of vertices "
+          f"have positive slack")
+    return 0
+
+
+def _cmd_fuse(args) -> int:
+    a = _load(args)
+    kernels, _ = build_combination(args.combo, a)
+    fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+    combo = COMBINATIONS[args.combo]
+    print(f"combination {args.combo} ({combo.name}): {combo.operations}")
+    print(f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing")
+    print(f"inspector   {fl.inspector_seconds * 1e3:.1f} ms")
+    print(format_profile(profile_schedule(fl.schedule, kernels)))
+    if args.save:
+        fp = pattern_fingerprint(*(k.intra_dag() for k in kernels))
+        path = save_schedule(args.save, fl.schedule, fingerprint=fp)
+        print(f"schedule saved to {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    a = _load(args)
+    kernels, _ = build_combination(args.combo, a)
+    cfg = MachineConfig(n_threads=args.threads)
+    results = compare_implementations(kernels, args.threads, cfg)
+    print(f"{'implementation':16s} {'GFLOP/s':>8s} {'sim time':>10s} "
+          f"{'barriers':>8s} {'inspect':>9s}")
+    for name, res in sorted(
+        results.items(), key=lambda kv: kv[1].executor_seconds
+    ):
+        print(
+            f"{name:16s} {res.gflops:8.2f} "
+            f"{res.executor_seconds * 1e6:8.1f}us "
+            f"{res.schedule.n_spartitions:8d} "
+            f"{res.inspector_seconds * 1e3:7.1f}ms"
+        )
+    return 0
+
+
+def _cmd_gs(args) -> int:
+    from .solvers import gauss_seidel
+
+    a = _load(args)
+    rng = np.random.default_rng(args.seed)
+    b = rng.random(a.n_rows)
+    res = gauss_seidel(
+        a,
+        b,
+        tol=args.tol,
+        max_iters=args.max_iters,
+        unroll=args.unroll,
+        method=args.method,
+        n_threads=args.threads,
+    )
+    status = "converged" if res.converged else "NOT converged"
+    print(
+        f"{status} in {res.iterations} iterations "
+        f"(residual {res.residuals[-1]:.2e})"
+    )
+    print(
+        f"simulated solve {res.simulated_solve_seconds * 1e3:.2f} ms, "
+        f"inspector {res.inspector_seconds * 1e3:.1f} ms, "
+        f"{res.meta['chunks']} chunks of {2 * args.unroll} fused loops"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Sparse fusion (SC'23) reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--matrix", default="lap3d:10", help="matrix spec")
+        sp.add_argument(
+            "--ordering",
+            default="nd",
+            choices=("nd", "rcm", "natural"),
+            help="pre-ordering (default: nested dissection)",
+        )
+        sp.add_argument("--threads", type=int, default=8)
+
+    sp = sub.add_parser("info", help="matrix and DAG statistics")
+    common(sp)
+    sp.set_defaults(fn=_cmd_info)
+
+    sp = sub.add_parser("fuse", help="fuse one Table 1 combination")
+    common(sp)
+    sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
+    sp.add_argument(
+        "--scheduler",
+        default="ico",
+        choices=("ico", "joint-wavefront", "joint-lbc", "joint-dagp", "joint-hdagg"),
+    )
+    sp.add_argument("--save", help="persist the schedule (.npz)")
+    sp.set_defaults(fn=_cmd_fuse)
+
+    sp = sub.add_parser("compare", help="compare all implementations")
+    common(sp)
+    sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
+    sp.set_defaults(fn=_cmd_compare)
+
+    sp = sub.add_parser("gs", help="fused Gauss-Seidel solve")
+    common(sp)
+    sp.add_argument("--unroll", type=int, default=2)
+    sp.add_argument("--tol", type=float, default=1e-8)
+    sp.add_argument("--max-iters", type=int, default=2000)
+    sp.add_argument(
+        "--method",
+        default="sparse-fusion",
+        choices=("sparse-fusion", "parsy", "joint-lbc", "joint-wavefront"),
+    )
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(fn=_cmd_gs)
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Sparse fusion: inspector, public fuse() API, Table 1 combinations."""
+
+from .codegen import CodegenUnsupported, generate_source, make_fused_executor
+from .combinations import COMBINATIONS, KernelCombination, build_combination
+from .fused import FusedLoops, fuse, inspect_loops
+from .inspector import build_inter_dep, compute_reuse, shared_variables
+
+__all__ = [
+    "COMBINATIONS",
+    "KernelCombination",
+    "build_combination",
+    "FusedLoops",
+    "fuse",
+    "inspect_loops",
+    "build_inter_dep",
+    "compute_reuse",
+    "shared_variables",
+    "CodegenUnsupported",
+    "generate_source",
+    "make_fused_executor",
+]

@@ -1,0 +1,146 @@
+"""The Table 1 kernel combinations.
+
+Each :class:`KernelCombination` builds, from one SPD matrix, the two
+kernels of a paper combination plus an initialized state (operand values
+and right-hand sides), so benchmarks and tests can iterate over the six
+rows of Table 1 uniformly:
+
+== ==========================  =======================  ============
+ID combination                 operations               dependence
+== ==========================  =======================  ============
+1  SpTRSV CSR → SpTRSV CSR     x = L⁻¹y, z = L⁻¹x       CD – CD
+2  DSCAL CSR → SpILU0 CSR      LU ≈ D A Dᵀ              Par – CD
+3  SpTRSV CSR → SpMV CSC       y = L⁻¹x, z = A y        CD – Par
+4  SpIC0 CSC → SpTRSV CSC      L Lᵀ ≈ A, y = L⁻¹x       CD – CD
+5  SpILU0 CSR → SpTRSV CSR     LU ≈ A, y = L⁻¹x         CD – CD
+6  DSCAL CSC → SpIC0 CSC       L Lᵀ ≈ D A Dᵀ            Par – CD
+== ==========================  =======================  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..kernels import (
+    DScalCSC,
+    DScalCSR,
+    Kernel,
+    SpIC0,
+    SpILU0,
+    SpMVCSC,
+    SpTRSVCSC,
+    SpTRSVCSR,
+    SpTRSVCSRFromLU,
+    State,
+)
+from ..runtime.executor import allocate_state
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["KernelCombination", "COMBINATIONS", "build_combination"]
+
+
+@dataclass(frozen=True)
+class KernelCombination:
+    """One Table 1 row: a named builder of (kernels, state)."""
+
+    id: int
+    name: str
+    operations: str
+    dependence: str
+    expected_reuse_ge_1: bool
+    builder: Callable[[CSRMatrix, np.random.Generator], tuple[list[Kernel], State]]
+
+    def build(
+        self, a: CSRMatrix, seed: int = 0
+    ) -> tuple[list[Kernel], State]:
+        """Instantiate the combination on SPD matrix *a*."""
+        rng = np.random.default_rng(seed)
+        return self.builder(a, rng)
+
+
+def _state_for(kernels: list[Kernel], fills: dict[str, np.ndarray]) -> State:
+    state = allocate_state(kernels)
+    for var, values in fills.items():
+        state[var][:] = values
+    return state
+
+
+def _combo1(a: CSRMatrix, rng) -> tuple[list[Kernel], State]:
+    low = a.lower_triangle()
+    k1 = SpTRSVCSR(low, l_var="Lx", b_var="y0", x_var="x1")
+    k2 = SpTRSVCSR(low, l_var="Lx", b_var="x1", x_var="z")
+    state = _state_for([k1, k2], {"Lx": low.data, "y0": rng.random(a.n_rows)})
+    return [k1, k2], state
+
+
+def _combo2(a: CSRMatrix, rng) -> tuple[list[Kernel], State]:
+    k1 = DScalCSR(a, a_var="Ax", s_var="Sx")
+    k2 = SpILU0(a, a_var="Sx", lu_var="LUx")
+    state = _state_for([k1, k2], {"Ax": a.data})
+    return [k1, k2], state
+
+
+def _combo3(a: CSRMatrix, rng) -> tuple[list[Kernel], State]:
+    low = a.lower_triangle()
+    k1 = SpTRSVCSR(low, l_var="Lx", b_var="x0", x_var="y")
+    k2 = SpMVCSC(a.to_csc(), a_var="Ax", x_var="y", y_var="z")
+    state = _state_for(
+        [k1, k2],
+        {"Lx": low.data, "Ax": a.to_csc().data, "x0": rng.random(a.n_rows)},
+    )
+    return [k1, k2], state
+
+
+def _combo4(a: CSRMatrix, rng) -> tuple[list[Kernel], State]:
+    low = a.lower_triangle().to_csc()
+    k1 = SpIC0(low, a_var="Alow", l_var="Lx")
+    k2 = SpTRSVCSC(low, l_var="Lx", b_var="b", x_var="y")
+    state = _state_for([k1, k2], {"Alow": low.data, "b": rng.random(a.n_rows)})
+    return [k1, k2], state
+
+
+def _combo5(a: CSRMatrix, rng) -> tuple[list[Kernel], State]:
+    k1 = SpILU0(a, a_var="Ax", lu_var="LUx")
+    k2 = SpTRSVCSRFromLU(a, lu_var="LUx", b_var="b", x_var="y")
+    state = _state_for([k1, k2], {"Ax": a.data, "b": rng.random(a.n_rows)})
+    return [k1, k2], state
+
+
+def _combo6(a: CSRMatrix, rng) -> tuple[list[Kernel], State]:
+    low = a.lower_triangle().to_csc()
+    k1 = DScalCSC(low, a_var="Alow", s_var="Slow")
+    k2 = SpIC0(low, a_var="Slow", l_var="Lx")
+    state = _state_for([k1, k2], {"Alow": low.data})
+    return [k1, k2], state
+
+
+COMBINATIONS: dict[int, KernelCombination] = {
+    1: KernelCombination(
+        1, "TRSV-TRSV", "x = L^-1 y, z = L^-1 x", "CD-CD", True, _combo1
+    ),
+    2: KernelCombination(
+        2, "DAD-ILU0", "LU ~= D A D^T", "Par-CD", True, _combo2
+    ),
+    3: KernelCombination(
+        3, "TRSV-MV", "y = L^-1 x, z = A y", "CD-Par", False, _combo3
+    ),
+    4: KernelCombination(
+        4, "IC0-TRSV", "L L^T ~= A, y = L^-1 x", "CD-CD", True, _combo4
+    ),
+    5: KernelCombination(
+        5, "ILU0-TRSV", "LU ~= A, y = L^-1 x", "CD-CD", True, _combo5
+    ),
+    6: KernelCombination(
+        6, "DAD-IC0", "L L^T ~= D A D^T", "Par-CD", True, _combo6
+    ),
+}
+
+
+def build_combination(
+    combo_id: int, a: CSRMatrix, seed: int = 0
+) -> tuple[list[Kernel], State]:
+    """Instantiate Table 1 combination *combo_id* on SPD matrix *a*."""
+    return COMBINATIONS[combo_id].build(a, seed)

@@ -1,0 +1,266 @@
+"""The public sparse-fusion API: :func:`fuse` and :class:`FusedLoops`.
+
+Mirrors the paper's driver (Listing 1): the inspector builds the
+per-kernel DAGs, the inter-kernel dependency matrices ``F`` and the
+reuse ratio, then ICO produces the ``FusedSchedule``; the executor runs
+the fused code with that schedule. ``scheduler=`` also exposes the fused
+baselines (wavefront / LBC / DAGP on the joint DAG), which share the
+exact same executor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..graph.interdep import InterDep
+from ..graph.joint import build_joint_dag
+from ..kernels.base import Kernel, State
+from ..runtime.executor import allocate_state, execute_schedule, run_reference
+from ..runtime.machine import MachineConfig, MachineReport, SimulatedMachine
+from ..runtime.threaded import ThreadedExecutor
+from ..schedule.dagp import dagp_schedule
+from ..schedule.hdagg import hdagg_schedule
+from ..schedule.ico import ico_schedule
+from ..schedule.lbc import lbc_schedule
+from ..schedule.schedule import FusedSchedule, validate_schedule
+from ..schedule.wavefront import wavefront_schedule
+from .inspector import build_inter_dep, compute_reuse
+
+__all__ = ["fuse", "FusedLoops", "inspect_loops"]
+
+_JOINT_SCHEDULERS = {
+    "joint-wavefront": wavefront_schedule,
+    "joint-lbc": lbc_schedule,
+    "joint-dagp": dagp_schedule,
+    "joint-hdagg": hdagg_schedule,
+}
+
+
+@dataclass
+class FusedLoops:
+    """Result of fusing a sequence of sparse loops.
+
+    Produced by :func:`fuse`; bundles the inspector outputs, the chosen
+    schedule, and convenience executors.
+    """
+
+    kernels: list[Kernel]
+    dags: list[DAG]
+    inter: dict[tuple[int, int], InterDep]
+    reuse_ratio: float
+    schedule: FusedSchedule
+    n_threads: int
+    inspector_seconds: float
+    meta: dict = field(default_factory=dict)
+
+    def allocate_state(self) -> State:
+        """Zeroed state covering every kernel variable."""
+        return allocate_state(self.kernels)
+
+    def execute(self, state: State) -> State:
+        """Run the fused code sequentially-faithfully (numerics oracle)."""
+        return execute_schedule(self.schedule, self.kernels, state)
+
+    def execute_threaded(self, state: State, n_threads: int | None = None) -> State:
+        """Run the fused code on real threads (GIL-bound; correctness demo)."""
+        executor = ThreadedExecutor(n_threads or self.n_threads)
+        return executor.execute(self.schedule, self.kernels, state)
+
+    def reference(self, state: State) -> State:
+        """Run the unfused sequential reference of all loops."""
+        return run_reference(self.kernels, state)
+
+    def simulate(
+        self,
+        config: MachineConfig | None = None,
+        *,
+        fidelity: str = "flat",
+        efficiency: float = 1.0,
+    ) -> MachineReport:
+        """Price the schedule on the simulated machine (see DESIGN.md §2)."""
+        cfg = config or MachineConfig(n_threads=self.n_threads)
+        return SimulatedMachine(cfg).simulate(
+            self.schedule, self.kernels, fidelity=fidelity, efficiency=efficiency
+        )
+
+    def validate(self) -> None:
+        """Re-check the schedule against the DAGs and ``F`` matrices."""
+        validate_schedule(self.schedule, self.dags, self.inter)
+
+    @property
+    def flop_count(self) -> float:
+        """Theoretical flops of all fused loops."""
+        return float(sum(k.flop_count() for k in self.kernels))
+
+
+def inspect_loops(
+    kernels: list[Kernel],
+    *,
+    consecutive_only: bool = False,
+) -> tuple[list[DAG], dict[tuple[int, int], InterDep], float]:
+    """Run the inspector: DAGs, inter-dependencies, reuse ratio.
+
+    ``F`` matrices are built for every ordered loop pair sharing a
+    variable (or only consecutive pairs when *consecutive_only* — the
+    common case for unrolled solver chains where transitivity covers the
+    rest; note this is only safe when non-consecutive pairs genuinely
+    share nothing new, which :func:`fuse` checks by default).
+
+    The reuse ratio of a multi-loop program is that of the first pair,
+    matching the paper's pairwise processing.
+    """
+    dags = [k.intra_dag() for k in kernels]
+    inter: dict[tuple[int, int], InterDep] = {}
+    for a in range(len(kernels)):
+        b_range = (
+            range(a + 1, min(a + 2, len(kernels)))
+            if consecutive_only
+            else range(a + 1, len(kernels))
+        )
+        for b in b_range:
+            f = build_inter_dep(kernels[a], kernels[b])
+            if f.nnz:
+                inter[(a, b)] = f
+    reuse = compute_reuse(kernels[0], kernels[1]) if len(kernels) > 1 else 0.0
+    return dags, inter, reuse
+
+
+def fuse(
+    kernels: list[Kernel],
+    n_threads: int = 8,
+    *,
+    scheduler: str = "ico",
+    reuse_ratio: float | None = None,
+    validate: bool = True,
+    **scheduler_kwargs,
+) -> FusedLoops:
+    """Fuse *kernels* (program order) into one parallel schedule.
+
+    Parameters
+    ----------
+    kernels:
+        Two or more loops; at least one with loop-carried dependencies is
+        the paper's target case, but parallel-parallel combinations work
+        too (Fig. 10).
+    n_threads:
+        Requested w-partitions per s-partition (``r`` in the paper).
+    scheduler:
+        ``"ico"`` (sparse fusion) or one of the fused baselines
+        ``"joint-wavefront"`` / ``"joint-lbc"`` / ``"joint-dagp"``.
+    reuse_ratio:
+        Override the inspector's reuse metric (packing selection).
+    validate:
+        Double-check the schedule against the dependence oracle.
+    scheduler_kwargs:
+        Forwarded to the scheduler (e.g. LBC's ``initial_cut``).
+
+    Returns
+    -------
+    FusedLoops
+        Inspector outputs + schedule + executors. ``inspector_seconds``
+        records the wall-clock inspection cost (DAGs, ``F``, scheduling),
+        the quantity on the y-axis of Fig. 7.
+    """
+    if len(kernels) < 2:
+        raise ValueError("fuse() needs at least two loops")
+    t0 = time.perf_counter()
+    dags, inter, measured_reuse = inspect_loops(kernels)
+    reuse = measured_reuse if reuse_ratio is None else float(reuse_ratio)
+    if scheduler == "ico":
+        sched = ico_schedule(dags, inter, n_threads, reuse, **scheduler_kwargs)
+    elif scheduler in _JOINT_SCHEDULERS:
+        sched = _schedule_joint(
+            scheduler, dags, inter, n_threads, reuse, **scheduler_kwargs
+        )
+    else:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected 'ico' or one of "
+            f"{sorted(_JOINT_SCHEDULERS)}"
+        )
+    inspector_seconds = time.perf_counter() - t0
+    fused = FusedLoops(
+        kernels=list(kernels),
+        dags=dags,
+        inter=inter,
+        reuse_ratio=reuse,
+        schedule=sched,
+        n_threads=n_threads,
+        inspector_seconds=inspector_seconds,
+        meta={"scheduler": scheduler},
+    )
+    if validate:
+        fused.validate()
+    return fused
+
+
+def _schedule_joint(name, dags, inter, n_threads, reuse, *, chordalize=False, **kwargs):
+    """Fused baselines: scheduler on the explicit joint DAG.
+
+    Multi-loop joint DAGs are built by folding loops in program order.
+    All fused approaches use sparse fusion's packing (as in the paper's
+    setup): the joint scheduler fixes (s, w) placement; vertices within a
+    w-partition are re-packed separated/interleaved by the reuse ratio.
+
+    ``chordalize=True`` (joint-lbc only) first closes the joint DAG under
+    the elimination game, the step the paper reports as "typically
+    consuming 64% of [fused LBC's] inspection time". Our LBC variant is
+    component-based and does not *need* chordality, so this is off by
+    default and enabled by the inspection-cost experiments (Figs. 7–8).
+    """
+    joint = _build_joint_multi(dags, inter)
+    if chordalize and name == "joint-lbc":
+        from ..graph.chordal import ChordalizationError
+        from ..graph.chordal import chordalize as _chordalize
+
+        try:
+            joint = _chordalize(joint, max_fill_factor=20.0)
+        except ChordalizationError:
+            pass  # fill blow-up (the paper's DAGP OOM analogue): skip
+    sched = _JOINT_SCHEDULERS[name](joint, n_threads, **kwargs)
+    packing = "interleaved" if reuse >= 1.0 else "separated"
+    repacked = _repack(sched, dags, inter, packing)
+    repacked.meta.update(sched.meta)
+    repacked.meta["joint"] = True
+    return repacked
+
+
+def _build_joint_multi(dags, inter):
+    """Joint DAG of >= 2 loops: union of intra edges and all F edges."""
+    offsets = np.zeros(len(dags) + 1, dtype=np.int64)
+    np.cumsum([d.n for d in dags], out=offsets[1:])
+    edges = []
+    for k, d in enumerate(dags):
+        if d.n_edges:
+            edges.append(d.edge_list() + int(offsets[k]))
+    for (a, b), f in inter.items():
+        if f.nnz:
+            e = f.edge_list().copy()
+            e[:, 0] += int(offsets[a])
+            e[:, 1] += int(offsets[b])
+            edges.append(e)
+    all_edges = np.concatenate(edges, axis=0) if edges else np.empty((0, 2))
+    weights = np.concatenate([d.weights for d in dags])
+    return DAG.from_edges(int(offsets[-1]), all_edges, weights)
+
+
+def _repack(sched, dags, inter, packing):
+    """Apply sparse-fusion packing inside each w-partition of *sched*."""
+    from ..schedule.ico import _IcoBuilder
+
+    loop_counts = tuple(d.n for d in dags)
+    builder = _IcoBuilder(dags, inter, 1)
+    builder._build_global_adjacency()
+    new_sparts = []
+    for wlist in sched.s_partitions:
+        out = []
+        for verts in wlist:
+            v = np.sort(verts)
+            if packing == "interleaved":
+                v = builder._interleave(v)
+            out.append(v)
+        new_sparts.append(out)
+    return FusedSchedule(loop_counts, new_sparts, packing=packing)

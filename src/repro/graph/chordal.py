@@ -1,0 +1,78 @@
+"""Chordalization of dependency DAGs.
+
+LBC is designed for L-factor (chordal) DAGs; the paper therefore makes
+DAGs chordal before handing them to LBC ("we make DAGs chordal before
+using LBC") and reports that this conversion dominates fused-LBC
+inspection time ("typically consuming 64% of its inspection time").
+
+For a naturally-ordered DAG, chordality of the underlying filled graph is
+exactly the L-factor closure property: *the successor set of every vertex,
+together with the vertex's fill, must form a path-connected elimination
+structure*. We implement the standard symbolic elimination game — for each
+vertex ``v`` in order, connect ``v``'s lowest-numbered unprocessed
+successor ``p`` to every other successor of ``v`` (the elimination-tree
+row merge). The result is the sparsity DAG of the Cholesky factor of the
+DAG's pattern, which is chordal by construction.
+
+Fill can explode on joint DAGs (the paper's DAGP runs out of memory on
+large joint DAGs); ``max_fill_factor`` caps the blow-up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.base import INDEX_DTYPE
+from .dag import DAG
+
+__all__ = ["chordalize", "ChordalizationError"]
+
+
+class ChordalizationError(RuntimeError):
+    """Raised when fill-in exceeds the configured cap."""
+
+
+def chordalize(dag: DAG, *, max_fill_factor: float = 20.0) -> DAG:
+    """Return the elimination-game closure of *dag* (a chordal super-DAG).
+
+    The input must be naturally ordered (``u < v`` per edge), which every
+    DAG in this library is. Every original edge is preserved; fill edges
+    are added so the pattern equals that of a Cholesky factor.
+
+    Parameters
+    ----------
+    max_fill_factor:
+        Abort with :class:`ChordalizationError` once total edges exceed
+        ``max_fill_factor * max(1, dag.n_edges)`` — mirrors the memory
+        blow-ups the paper observes on large joint DAGs.
+    """
+    if not dag.is_naturally_ordered():
+        raise ValueError("chordalize requires a naturally ordered DAG")
+    n = dag.n
+    cap = int(max_fill_factor * max(1, dag.n_edges))
+    # successor sets as sorted python lists of ints (mutated during fill)
+    succ: list[set] = [set(dag.successors(v).tolist()) for v in range(n)]
+    total = dag.n_edges
+    for v in range(n):
+        sv = succ[v]
+        if len(sv) < 2:
+            continue
+        p = min(sv)
+        add = sv - succ[p]
+        add.discard(p)
+        if add:
+            succ[p] |= add
+            total += len(add)
+            if total > cap:
+                raise ChordalizationError(
+                    f"fill exceeded cap ({total} > {cap} edges)"
+                )
+    counts = np.fromiter((len(s) for s in succ), dtype=INDEX_DTYPE, count=n)
+    indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(indptr[-1], dtype=INDEX_DTYPE)
+    for v in range(n):
+        lo = indptr[v]
+        items = sorted(succ[v])
+        indices[lo : lo + len(items)] = items
+    return DAG(n, indptr, indices, dag.weights, check=False)

@@ -1,0 +1,33 @@
+"""Schedulable sparse kernels (Table 1 of the paper).
+
+Each kernel exposes per-iteration execution, an intra-kernel dependency
+DAG, element-granular dataflow, and cost metadata — everything the
+inspector (:mod:`repro.fusion.inspector`) and the runtime need.
+"""
+
+from .base import Kernel, State, internal_var, make_state
+from .dscal import DScalCSC, DScalCSR
+from .spic0 import SpIC0
+from .spilu0 import SpILU0
+from .spmv import SpMVCSC, SpMVCSR
+from .spmv_sym import SpMVSymLower
+from .sptrsv import SpTRSVCSC, SpTRSVCSR, SpTRSVCSRFromLU
+from .sptrsv_backward import SpTRSVBackwardCSR
+
+__all__ = [
+    "Kernel",
+    "State",
+    "internal_var",
+    "make_state",
+    "SpTRSVCSR",
+    "SpTRSVCSC",
+    "SpTRSVCSRFromLU",
+    "SpTRSVBackwardCSR",
+    "SpMVCSR",
+    "SpMVCSC",
+    "SpMVSymLower",
+    "SpIC0",
+    "SpILU0",
+    "DScalCSR",
+    "DScalCSC",
+]

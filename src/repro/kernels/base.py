@@ -1,0 +1,218 @@
+"""Kernel abstraction: schedulable sparse loops with explicit dataflow.
+
+A :class:`Kernel` is one outermost sparse loop (the unit of fusion in the
+paper). It must expose everything the inspector and the runtime need:
+
+* **iteration execution** — ``run_iteration(i, state, scratch)`` computes
+  iteration ``i`` against a *state* (a dict mapping variable names to 1-D
+  ``float64`` arrays). Any valid schedule that respects the DAGs and
+  ``F`` must make the sequence of ``run_iteration`` calls produce the
+  same result as ``run_reference``.
+* **dataflow** — per-iteration element-granular read/write sets over
+  named variables (:meth:`reads_of` / :meth:`writes_of`). The generic
+  inter-kernel dependence builder in :mod:`repro.fusion.inspector` joins
+  these across kernels, exactly like the paper's ``inter_DAG`` functions
+  join statement accesses.
+* **structure** — the intra-kernel dependency DAG (:meth:`intra_dag`,
+  empty for parallel loops), the per-iteration cost ``c(v)`` (nonzeros
+  touched), theoretical flops, and variable sizes for the reuse ratio.
+
+Variables whose names start with ``"_"`` are *internal* (private scratch
+like the CSC-TRSV accumulator): they participate in execution but are
+excluded from the reuse-ratio metric and cannot be shared across kernels.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.base import INDEX_DTYPE, VALUE_DTYPE
+
+__all__ = ["Kernel", "State", "make_state", "internal_var"]
+
+State = dict[str, np.ndarray]
+"""Execution state: variable name -> 1-D float64 array."""
+
+_EMPTY_INDEX = np.empty(0, dtype=INDEX_DTYPE)
+
+
+def internal_var(name: str) -> bool:
+    """True for kernel-private variables (excluded from reuse metrics)."""
+    return name.startswith("_")
+
+
+def make_state(sizes: Mapping[str, int], *, fill: float = 0.0) -> State:
+    """Allocate a zeroed (or constant-filled) state for the given sizes."""
+    return {
+        name: np.full(int(size), fill, dtype=VALUE_DTYPE)
+        for name, size in sizes.items()
+    }
+
+
+class Kernel(abc.ABC):
+    """One fusable sparse loop. See the module docstring for the contract."""
+
+    #: Human-readable kernel name, e.g. ``"SpTRSV-CSR"``.
+    name: str = "kernel"
+
+    #: True for scatter kernels whose accumulations need atomicity when
+    #: concurrent w-partitions overlap on an element (the paper's
+    #: ``Atomic`` annotation); the threaded executor serializes these.
+    needs_atomic: bool = False
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def n_iterations(self) -> int:
+        """Trip count of the outermost loop."""
+
+    @abc.abstractmethod
+    def intra_dag(self) -> DAG:
+        """Dependency DAG between this loop's iterations.
+
+        Parallel loops return ``DAG.empty(n_iterations)``. Implementations
+        should cache: schedulers ask repeatedly.
+        """
+
+    @property
+    def has_carried_dependence(self) -> bool:
+        """True when the loop has loop-carried dependencies."""
+        return self.intra_dag().has_edges
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def setup(self, state: State) -> None:
+        """Initialize output variables this kernel owns (e.g. zero an
+        accumulator). Runs once, before any iteration of any fused loop —
+        must therefore never touch data another kernel produces."""
+
+    @abc.abstractmethod
+    def run_iteration(self, i: int, state: State, scratch: Any = None) -> None:
+        """Execute iteration *i* against *state*."""
+
+    @abc.abstractmethod
+    def run_reference(self, state: State) -> None:
+        """Sequential reference execution of the whole loop (vectorized
+        where possible); includes the effect of :meth:`setup`."""
+
+    def make_scratch(self) -> Any:
+        """Allocate per-executor scratch (per-thread in threaded runs)."""
+        return None
+
+    #: True when :meth:`run_batch` can execute any iteration set at once
+    #: (requires an empty intra-DAG — no loop-carried dependence).
+    supports_batch: bool = False
+
+    def run_batch(self, iters: np.ndarray, state: State, scratch: Any = None) -> None:
+        """Execute the independent iterations *iters* in one vectorized
+        call. Only valid when :attr:`supports_batch`; the default falls
+        back to per-iteration execution."""
+        for i in np.asarray(iters).tolist():
+            self.run_iteration(i, state, scratch)
+
+    # ------------------------------------------------------------------
+    # Fused-code generation (Sec. 2.3; see repro.fusion.codegen)
+    # ------------------------------------------------------------------
+    def codegen_body(self, prefix: str) -> str | None:
+        """Python source of one iteration (loop variable ``i``), or
+        ``None`` when this kernel cannot be code-generated (e.g. it needs
+        scratch workspaces). Structural arrays are referenced as
+        ``{prefix}{const}`` (from :meth:`codegen_consts`) and state
+        arrays via :meth:`cg_var`."""
+        return None
+
+    def codegen_consts(self) -> dict[str, np.ndarray]:
+        """Structural arrays the generated body needs, by local name."""
+        return {}
+
+    def cg_var(self, prefix: str, var: str) -> str:
+        """Generated-code local name of state variable *var*."""
+        return f"{prefix}v_{var.replace('.', '_').lstrip('_')}"
+
+    # ------------------------------------------------------------------
+    # Dataflow
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def read_vars(self) -> tuple[str, ...]:
+        """Names of variables read by some iteration."""
+
+    @property
+    @abc.abstractmethod
+    def write_vars(self) -> tuple[str, ...]:
+        """Names of variables written by some iteration."""
+
+    @property
+    def all_vars(self) -> tuple[str, ...]:
+        """Read plus write variables, reads first, no duplicates."""
+        out = list(self.read_vars)
+        out.extend(v for v in self.write_vars if v not in out)
+        return tuple(out)
+
+    @abc.abstractmethod
+    def var_sizes(self) -> dict[str, int]:
+        """Element count of every variable this kernel touches."""
+
+    @abc.abstractmethod
+    def reads_of(self, var: str, i: int) -> np.ndarray:
+        """Element indices of *var* read by iteration *i* (may be empty)."""
+
+    @abc.abstractmethod
+    def writes_of(self, var: str, i: int) -> np.ndarray:
+        """Element indices of *var* written by iteration *i*."""
+
+    def write_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        """Full iteration->written-elements map as ``(indptr, indices)``.
+
+        The generic implementation loops over iterations; kernels override
+        with vectorized builders where the map is just a matrix slice.
+        """
+        return _build_map(self, var, kind="write")
+
+    def read_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        """Full iteration->read-elements map as ``(indptr, indices)``."""
+        return _build_map(self, var, kind="read")
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def iteration_costs(self) -> np.ndarray:
+        """The paper's ``c(v)``: nonzeros touched per iteration
+        (``float64`` array of length ``n_iterations``)."""
+
+    @abc.abstractmethod
+    def flop_count(self) -> float:
+        """Theoretical floating-point operations of the whole loop
+        (used for the GFLOP/s axis of Fig. 5; identical across
+        implementations by construction)."""
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n_iterations})"
+
+
+def _build_map(kernel: Kernel, var: str, *, kind: str) -> tuple[np.ndarray, np.ndarray]:
+    """Generic per-iteration access-map builder (see Kernel.write_map)."""
+    getter = kernel.writes_of if kind == "write" else kernel.reads_of
+    n = kernel.n_iterations
+    chunks = []
+    counts = np.zeros(n, dtype=INDEX_DTYPE)
+    for i in range(n):
+        idx = getter(var, i)
+        counts[i] = idx.shape[0]
+        if idx.shape[0]:
+            chunks.append(np.asarray(idx, dtype=INDEX_DTYPE))
+    indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    indices = (
+        np.concatenate(chunks) if chunks else _EMPTY_INDEX
+    )
+    return indptr, indices

@@ -1,0 +1,229 @@
+"""Sparse incomplete Cholesky with zero fill-in (SpIC0), CSC variant.
+
+Left-looking column factorization restricted to the pattern of
+``lower(A)``: iteration ``j`` produces column ``j`` of ``L`` from the
+initial values of column ``j`` (variable ``a_var``) and the finished
+columns ``k < j`` with ``L[j, k] != 0``. The intra-DAG is therefore the
+strict-lower pattern of ``L`` — the same rule as SpTRSV, which is why
+the two kernels' joint DAG in Fig. 1 overlays so well.
+
+Numerically identical (same operation order) to the golden reference
+:func:`repro.sparse.factor.ic0_csc`; tests enforce exact agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.base import INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.csc import CSCMatrix
+from .base import Kernel, State
+
+__all__ = ["SpIC0"]
+
+_EMPTY = np.empty(0, dtype=INDEX_DTYPE)
+
+
+class SpIC0(Kernel):
+    """SpIC0 over CSC storage: factor ``L`` with ``L @ L.T ≈ A``.
+
+    Parameters
+    ----------
+    low:
+        The pattern of ``lower(A)`` as a :class:`CSCMatrix` (values of
+        *low* itself are ignored; the numeric input comes from state).
+        Every column must start with its diagonal entry.
+    a_var:
+        State variable holding the initial values of ``lower(A)`` in the
+        ``data`` layout of *low*.
+    l_var:
+        Output variable receiving the factor values, same layout.
+    """
+
+    name = "SpIC0-CSC"
+
+    def __init__(self, low: CSCMatrix, *, a_var="Alow", l_var="Lx"):
+        if not low.is_square or not low.is_lower_triangular():
+            raise ValueError("SpIC0 requires a square lower-triangular pattern")
+        n = low.n_cols
+        first = low.indptr[:-1]
+        if np.any(np.diff(low.indptr) == 0) or np.any(
+            low.indices[first] != np.arange(n, dtype=INDEX_DTYPE)
+        ):
+            raise ValueError("every column needs a leading diagonal entry")
+        self.low = low
+        self.a_var = a_var
+        self.l_var = l_var
+        self._dag: DAG | None = None
+        # Row structure of the strict lower triangle: for each row j the
+        # columns k < j with L[j, k] != 0 and the position of that entry
+        # in `data` — the update list of the left-looking algorithm.
+        cols = np.repeat(np.arange(n, dtype=INDEX_DTYPE), low.col_nnz())
+        strict = low.indices > cols
+        r = low.indices[strict]
+        k = cols[strict]
+        pos = np.nonzero(strict)[0].astype(INDEX_DTYPE)
+        order = np.lexsort((k, r))
+        self._row_ptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(r, minlength=n), out=self._row_ptr[1:])
+        self._row_cols = k[order]
+        self._row_pos = pos[order]
+        # Update-tail start within each source column: for pair (j, k) the
+        # update touches column-k entries with row >= j.
+        starts = np.empty(self._row_cols.shape[0], dtype=INDEX_DTYPE)
+        for t in range(self._row_cols.shape[0]):
+            kk = self._row_cols[t]
+            jj = _row_of(self._row_ptr, t)
+            klo, khi = low.indptr[kk], low.indptr[kk + 1]
+            starts[t] = klo + np.searchsorted(low.indices[klo:khi], jj)
+        self._tail_starts = starts
+        self._costs = None
+
+    @property
+    def n_iterations(self) -> int:
+        return self.low.n_cols
+
+    def intra_dag(self) -> DAG:
+        if self._dag is None:
+            self._dag = DAG.from_lower_triangular(self.low)
+            self._dag.weights = self.iteration_costs()
+        return self._dag
+
+    # -- execution ------------------------------------------------------
+    def make_scratch(self) -> np.ndarray:
+        return np.zeros(self.low.n_rows, dtype=VALUE_DTYPE)
+
+    def run_iteration(self, j: int, state: State, scratch: Any = None) -> None:
+        work = scratch if scratch is not None else self.make_scratch()
+        indptr, indices = self.low.indptr, self.low.indices
+        a = state[self.a_var]
+        lx = state[self.l_var]
+        lo, hi = indptr[j], indptr[j + 1]
+        rows = indices[lo:hi]
+        work[rows] = a[lo:hi]
+        tlo, thi = self._row_ptr[j], self._row_ptr[j + 1]
+        for t in range(tlo, thi):
+            k = self._row_cols[t]
+            ljk = lx[self._row_pos[t]]
+            s, khi = self._tail_starts[t], indptr[k + 1]
+            work[indices[s:khi]] -= ljk * lx[s:khi]
+        pivot = work[j]
+        if pivot <= 0.0:
+            raise ValueError(f"IC0 breakdown at column {j}: pivot {pivot} <= 0")
+        diag = np.sqrt(pivot)
+        lx[lo] = diag
+        if hi > lo + 1:
+            lx[lo + 1 : hi] = work[rows[1:]] / diag
+        # Cleanup: restore the scratch to all-zeros for the next iteration.
+        work[rows] = 0.0
+        for t in range(tlo, thi):
+            k = self._row_cols[t]
+            s, khi = self._tail_starts[t], indptr[k + 1]
+            work[indices[s:khi]] = 0.0
+
+    def run_reference(self, state: State) -> None:
+        from ..sparse.factor import ic0_csc
+        from ..sparse.csr import CSRMatrix
+
+        low = CSCMatrix(
+            self.low.n_rows,
+            self.low.n_cols,
+            self.low.indptr,
+            self.low.indices,
+            state[self.a_var],
+            check=False,
+        )
+        # ic0_csc takes the full symmetric matrix in CSR; rebuild it from
+        # the lower triangle (A = L + L^T - diag).
+        upper = low.transpose().to_csr().to_scipy()
+        import scipy.sparse as sp
+
+        full = low.to_csr().to_scipy() + upper - sp.diags(low.diagonal())
+        result = ic0_csc(CSRMatrix.from_scipy(full))
+        if not np.array_equal(result.indptr, self.low.indptr) or not np.array_equal(
+            result.indices, self.low.indices
+        ):
+            raise AssertionError("reference factor pattern mismatch")
+        state[self.l_var][:] = result.data
+
+    # -- dataflow -------------------------------------------------------
+    @property
+    def read_vars(self) -> tuple[str, ...]:
+        return (self.a_var, self.l_var)
+
+    @property
+    def write_vars(self) -> tuple[str, ...]:
+        return (self.l_var,)
+
+    def var_sizes(self) -> dict[str, int]:
+        return {self.a_var: self.low.nnz, self.l_var: self.low.nnz}
+
+    def reads_of(self, var: str, j: int) -> np.ndarray:
+        lo, hi = self.low.indptr[j], self.low.indptr[j + 1]
+        if var == self.a_var:
+            return np.arange(lo, hi, dtype=INDEX_DTYPE)
+        if var == self.l_var:
+            tlo, thi = self._row_ptr[j], self._row_ptr[j + 1]
+            parts = [self._row_pos[tlo:thi]]
+            for t in range(tlo, thi):
+                k = self._row_cols[t]
+                parts.append(
+                    np.arange(
+                        self._tail_starts[t],
+                        self.low.indptr[k + 1],
+                        dtype=INDEX_DTYPE,
+                    )
+                )
+            return np.unique(np.concatenate(parts)) if parts else _EMPTY
+        return _EMPTY
+
+    def writes_of(self, var: str, j: int) -> np.ndarray:
+        if var == self.l_var:
+            lo, hi = self.low.indptr[j], self.low.indptr[j + 1]
+            return np.arange(lo, hi, dtype=INDEX_DTYPE)
+        return _EMPTY
+
+    def write_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.l_var:
+            return self.low.indptr.copy(), np.arange(self.low.nnz, dtype=INDEX_DTYPE)
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    def read_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.a_var:
+            return self.low.indptr.copy(), np.arange(self.low.nnz, dtype=INDEX_DTYPE)
+        if var == self.l_var:
+            from .base import _build_map
+
+            return _build_map(self, var, kind="read")
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    # -- costs ----------------------------------------------------------
+    def iteration_costs(self) -> np.ndarray:
+        if self._costs is None:
+            n = self.n_iterations
+            tails = self.low.indptr[self._row_cols + 1] - self._tail_starts
+            update = np.zeros(n, dtype=VALUE_DTYPE)
+            rows = np.repeat(
+                np.arange(n, dtype=INDEX_DTYPE), np.diff(self._row_ptr)
+            )
+            np.add.at(update, rows, tails.astype(VALUE_DTYPE))
+            self._costs = self.low.col_nnz().astype(VALUE_DTYPE) + update
+        return self._costs
+
+    def flop_count(self) -> float:
+        # 2 flops per update entry, 1 sqrt per column, 1 divide per
+        # off-diagonal.
+        tails = self.low.indptr[self._row_cols + 1] - self._tail_starts
+        return float(
+            2 * tails.sum() + self.n_iterations + (self.low.nnz - self.n_iterations)
+        )
+
+
+def _row_of(row_ptr: np.ndarray, t: int) -> int:
+    """Row index owning flat position *t* of a row-structure CSR."""
+    return int(np.searchsorted(row_ptr, t, side="right") - 1)

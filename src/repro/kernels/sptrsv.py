@@ -1,0 +1,459 @@
+"""Sparse triangular solve kernels (SpTRSV), CSR and CSC variants.
+
+Solves ``L x = b`` for lower-triangular ``L``. Both variants have
+loop-carried dependencies with DAG = the strict-lower pattern of ``L``
+(Fig. 2b of the paper): a nonzero ``L[i, j]`` is the dependence
+``j -> i``.
+
+* **CSR variant** (Fig. 2a lines 1–7): iteration ``i`` gathers
+  ``x[j]`` for every ``j`` in row ``i`` — a *pull* kernel.
+* **CSC variant**: iteration ``j`` finalizes ``x[j]`` and scatters
+  updates down column ``j`` into a private accumulator — a *push*
+  kernel. The accumulator is an internal variable so that partial sums
+  never alias the visible output.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.base import INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.csc import CSCMatrix
+from ..sparse.csr import CSRMatrix
+from .base import Kernel, State
+
+__all__ = ["SpTRSVCSR", "SpTRSVCSC", "SpTRSVCSRFromLU"]
+
+_EMPTY = np.empty(0, dtype=INDEX_DTYPE)
+
+
+class SpTRSVCSR(Kernel):
+    """SpTRSV over CSR storage: ``x = L^{-1} b``.
+
+    Parameters
+    ----------
+    low:
+        Lower-triangular :class:`CSRMatrix` with a full diagonal.
+    l_var, b_var, x_var:
+        State variable names for the matrix values (``data`` layout of
+        *low*), the right-hand side, and the solution.
+    """
+
+    name = "SpTRSV-CSR"
+
+    def __init__(self, low: CSRMatrix, *, l_var="Lx", b_var="b", x_var="x"):
+        if not low.is_square or not low.is_lower_triangular():
+            raise ValueError("SpTRSV requires a square lower-triangular matrix")
+        self.low = low
+        self.l_var = l_var
+        self.b_var = b_var
+        self.x_var = x_var
+        # With sorted indices the diagonal is the last entry of each row;
+        # verify once.
+        n = low.n_rows
+        last = low.indptr[1:] - 1
+        if np.any(np.diff(low.indptr) == 0) or np.any(
+            low.indices[last] != np.arange(n, dtype=INDEX_DTYPE)
+        ):
+            raise ValueError("every row needs a diagonal entry")
+        self._dag: DAG | None = None
+
+    # -- structure ------------------------------------------------------
+    @property
+    def n_iterations(self) -> int:
+        return self.low.n_rows
+
+    def intra_dag(self) -> DAG:
+        if self._dag is None:
+            self._dag = DAG.from_lower_triangular(self.low)
+        return self._dag
+
+    # -- execution ------------------------------------------------------
+    def run_iteration(self, i: int, state: State, scratch: Any = None) -> None:
+        lo, hi = self.low.indptr[i], self.low.indptr[i + 1]
+        cols = self.low.indices[lo : hi - 1]
+        lx = state[self.l_var]
+        x = state[self.x_var]
+        acc = state[self.b_var][i] - np.dot(lx[lo : hi - 1], x[cols])
+        x[i] = acc / lx[hi - 1]
+
+    def run_reference(self, state: State) -> None:
+        from scipy.sparse.linalg import spsolve_triangular
+
+        mat = CSRMatrix(
+            self.low.n_rows,
+            self.low.n_cols,
+            self.low.indptr,
+            self.low.indices,
+            state[self.l_var],
+            check=False,
+        ).to_scipy()
+        state[self.x_var][:] = spsolve_triangular(
+            mat, state[self.b_var], lower=True
+        )
+
+    # -- dataflow -------------------------------------------------------
+    @property
+    def read_vars(self) -> tuple[str, ...]:
+        return (self.l_var, self.b_var, self.x_var)
+
+    @property
+    def write_vars(self) -> tuple[str, ...]:
+        return (self.x_var,)
+
+    def var_sizes(self) -> dict[str, int]:
+        return {
+            self.l_var: self.low.nnz,
+            self.b_var: self.low.n_rows,
+            self.x_var: self.low.n_rows,
+        }
+
+    def reads_of(self, var: str, i: int) -> np.ndarray:
+        lo, hi = self.low.indptr[i], self.low.indptr[i + 1]
+        if var == self.l_var:
+            return np.arange(lo, hi, dtype=INDEX_DTYPE)
+        if var == self.b_var:
+            return np.array([i], dtype=INDEX_DTYPE)
+        if var == self.x_var:
+            return self.low.indices[lo : hi - 1]
+        return _EMPTY
+
+    def writes_of(self, var: str, i: int) -> np.ndarray:
+        if var == self.x_var:
+            return np.array([i], dtype=INDEX_DTYPE)
+        return _EMPTY
+
+    def write_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.x_var:
+            return (
+                np.arange(n + 1, dtype=INDEX_DTYPE),
+                np.arange(n, dtype=INDEX_DTYPE),
+            )
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    def read_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.l_var:
+            return self.low.indptr.copy(), np.arange(self.low.nnz, dtype=INDEX_DTYPE)
+        if var == self.b_var:
+            return (
+                np.arange(n + 1, dtype=INDEX_DTYPE),
+                np.arange(n, dtype=INDEX_DTYPE),
+            )
+        if var == self.x_var:
+            # Strictly-lower columns of each row.
+            rows = np.repeat(
+                np.arange(n, dtype=INDEX_DTYPE), self.low.row_nnz()
+            )
+            mask = self.low.indices < rows
+            counts = np.bincount(rows[mask], minlength=n)
+            indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+            np.cumsum(counts, out=indptr[1:])
+            return indptr, self.low.indices[mask]
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    # -- codegen ---------------------------------------------------------
+    def codegen_consts(self) -> dict[str, np.ndarray]:
+        return {"indptr": self.low.indptr, "indices": self.low.indices}
+
+    def codegen_body(self, prefix: str) -> str:
+        lx = self.cg_var(prefix, self.l_var)
+        b = self.cg_var(prefix, self.b_var)
+        x = self.cg_var(prefix, self.x_var)
+        return (
+            f"lo = {prefix}indptr[i]; hi = {prefix}indptr[i + 1]\n"
+            f"{x}[i] = ({b}[i] - np.dot({lx}[lo:hi - 1], "
+            f"{x}[{prefix}indices[lo:hi - 1]])) / {lx}[hi - 1]"
+        )
+
+    # -- costs ----------------------------------------------------------
+    def iteration_costs(self) -> np.ndarray:
+        return self.low.row_nnz().astype(VALUE_DTYPE)
+
+    def flop_count(self) -> float:
+        # one multiply+subtract per off-diagonal, one divide per row
+        return float(2 * (self.low.nnz - self.low.n_rows) + self.low.n_rows)
+
+
+class SpTRSVCSC(Kernel):
+    """SpTRSV over CSC storage: ``x = L^{-1} b`` (push formulation).
+
+    Iteration ``j`` computes ``x[j] = (b[j] - acc[j]) / L[j, j]`` and adds
+    ``L[i, j] * x[j]`` into ``acc[i]`` for every sub-diagonal nonzero of
+    column ``j``. ``acc`` is an internal, zero-initialized variable named
+    ``"_acc." + x_var``.
+    """
+
+    name = "SpTRSV-CSC"
+    needs_atomic = True
+
+    def __init__(self, low: CSCMatrix, *, l_var="Lx", b_var="b", x_var="x"):
+        if not low.is_square or not low.is_lower_triangular():
+            raise ValueError("SpTRSV requires a square lower-triangular matrix")
+        self.low = low
+        self.l_var = l_var
+        self.b_var = b_var
+        self.x_var = x_var
+        self.acc_var = f"_acc.{x_var}"
+        n = low.n_cols
+        first = low.indptr[:-1]
+        if np.any(np.diff(low.indptr) == 0) or np.any(
+            low.indices[first] != np.arange(n, dtype=INDEX_DTYPE)
+        ):
+            raise ValueError("every column needs a diagonal entry")
+        self._dag: DAG | None = None
+
+    # -- structure ------------------------------------------------------
+    @property
+    def n_iterations(self) -> int:
+        return self.low.n_cols
+
+    def intra_dag(self) -> DAG:
+        if self._dag is None:
+            self._dag = DAG.from_lower_triangular(self.low)
+        return self._dag
+
+    # -- execution ------------------------------------------------------
+    def setup(self, state: State) -> None:
+        state[self.acc_var][:] = 0.0
+
+    def run_iteration(self, j: int, state: State, scratch: Any = None) -> None:
+        lo, hi = self.low.indptr[j], self.low.indptr[j + 1]
+        lx = state[self.l_var]
+        acc = state[self.acc_var]
+        xj = (state[self.b_var][j] - acc[j]) / lx[lo]
+        state[self.x_var][j] = xj
+        rows = self.low.indices[lo + 1 : hi]
+        if rows.shape[0]:
+            acc[rows] += lx[lo + 1 : hi] * xj
+
+    def run_reference(self, state: State) -> None:
+        from scipy.sparse.linalg import spsolve_triangular
+
+        mat = CSCMatrix(
+            self.low.n_rows,
+            self.low.n_cols,
+            self.low.indptr,
+            self.low.indices,
+            state[self.l_var],
+            check=False,
+        ).to_scipy().tocsr()
+        state[self.x_var][:] = spsolve_triangular(
+            mat, state[self.b_var], lower=True
+        )
+        state[self.acc_var][:] = 0.0  # reference does not model acc contents
+
+    # -- dataflow -------------------------------------------------------
+    @property
+    def read_vars(self) -> tuple[str, ...]:
+        return (self.l_var, self.b_var, self.acc_var)
+
+    @property
+    def write_vars(self) -> tuple[str, ...]:
+        return (self.x_var, self.acc_var)
+
+    def var_sizes(self) -> dict[str, int]:
+        n = self.low.n_cols
+        return {
+            self.l_var: self.low.nnz,
+            self.b_var: n,
+            self.x_var: n,
+            self.acc_var: n,
+        }
+
+    def reads_of(self, var: str, j: int) -> np.ndarray:
+        lo, hi = self.low.indptr[j], self.low.indptr[j + 1]
+        if var == self.l_var:
+            return np.arange(lo, hi, dtype=INDEX_DTYPE)
+        if var == self.b_var:
+            return np.array([j], dtype=INDEX_DTYPE)
+        if var == self.acc_var:
+            return np.array([j], dtype=INDEX_DTYPE)
+        return _EMPTY
+
+    def writes_of(self, var: str, j: int) -> np.ndarray:
+        lo, hi = self.low.indptr[j], self.low.indptr[j + 1]
+        if var == self.x_var:
+            return np.array([j], dtype=INDEX_DTYPE)
+        if var == self.acc_var:
+            return self.low.indices[lo + 1 : hi]
+        return _EMPTY
+
+    def read_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.l_var:
+            return self.low.indptr.copy(), np.arange(self.low.nnz, dtype=INDEX_DTYPE)
+        if var in (self.b_var, self.acc_var):
+            return (
+                np.arange(n + 1, dtype=INDEX_DTYPE),
+                np.arange(n, dtype=INDEX_DTYPE),
+            )
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    def write_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.x_var:
+            return (
+                np.arange(n + 1, dtype=INDEX_DTYPE),
+                np.arange(n, dtype=INDEX_DTYPE),
+            )
+        if var == self.acc_var:
+            cols = np.repeat(np.arange(n, dtype=INDEX_DTYPE), self.low.col_nnz())
+            mask = self.low.indices > cols
+            counts = np.bincount(cols[mask], minlength=n)
+            indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+            np.cumsum(counts, out=indptr[1:])
+            return indptr, self.low.indices[mask]
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    # -- codegen ---------------------------------------------------------
+    def codegen_consts(self) -> dict[str, np.ndarray]:
+        return {"indptr": self.low.indptr, "indices": self.low.indices}
+
+    def codegen_body(self, prefix: str) -> str:
+        lx = self.cg_var(prefix, self.l_var)
+        b = self.cg_var(prefix, self.b_var)
+        x = self.cg_var(prefix, self.x_var)
+        acc = self.cg_var(prefix, self.acc_var)
+        return (
+            f"lo = {prefix}indptr[i]; hi = {prefix}indptr[i + 1]\n"
+            f"xj = ({b}[i] - {acc}[i]) / {lx}[lo]\n"
+            f"{x}[i] = xj\n"
+            f"rows = {prefix}indices[lo + 1:hi]\n"
+            f"if rows.shape[0]:\n"
+            f"    {acc}[rows] += {lx}[lo + 1:hi] * xj"
+        )
+
+    # -- costs ----------------------------------------------------------
+    def iteration_costs(self) -> np.ndarray:
+        return self.low.col_nnz().astype(VALUE_DTYPE)
+
+    def flop_count(self) -> float:
+        return float(2 * (self.low.nnz - self.low.n_cols) + self.low.n_cols)
+
+
+class SpTRSVCSRFromLU(Kernel):
+    """Unit-lower SpTRSV reading the combined ``L\\U`` factor of SpILU0.
+
+    Solves ``L y = b`` where ``L`` is the unit-diagonal lower factor
+    stored inside an ILU0 result (kernel combination 5 of Table 1): the
+    matrix values live in the *full* pattern of ``A`` (variable
+    ``lu_var``), and iteration ``i`` consumes only the strict-lower
+    entries of row ``i``. No divide — the diagonal is an implicit 1.
+    """
+
+    name = "SpTRSV-CSR-fromLU"
+
+    def __init__(self, a: CSRMatrix, *, lu_var="LUx", b_var="b", x_var="x"):
+        if not a.is_square:
+            raise ValueError("requires a square matrix pattern")
+        self.a = a
+        self.lu_var = lu_var
+        self.b_var = b_var
+        self.x_var = x_var
+        # position of the diagonal inside each row (first entry >= i)
+        n = a.n_rows
+        self._diag_off = np.empty(n, dtype=INDEX_DTYPE)
+        for i in range(n):
+            lo, hi = a.indptr[i], a.indptr[i + 1]
+            self._diag_off[i] = lo + np.searchsorted(a.indices[lo:hi], i)
+        self._dag: DAG | None = None
+
+    @property
+    def n_iterations(self) -> int:
+        return self.a.n_rows
+
+    def intra_dag(self) -> DAG:
+        if self._dag is None:
+            self._dag = DAG.from_lower_triangular(self.a.lower_triangle())
+        return self._dag
+
+    # -- execution ------------------------------------------------------
+    def run_iteration(self, i: int, state: State, scratch: Any = None) -> None:
+        lo = self.a.indptr[i]
+        di = self._diag_off[i]
+        cols = self.a.indices[lo:di]
+        lu = state[self.lu_var]
+        state[self.x_var][i] = state[self.b_var][i] - np.dot(
+            lu[lo:di], state[self.x_var][cols]
+        )
+
+    def run_reference(self, state: State) -> None:
+        x = state[self.x_var]
+        b = state[self.b_var]
+        lu = state[self.lu_var]
+        for i in range(self.a.n_rows):
+            lo = self.a.indptr[i]
+            di = self._diag_off[i]
+            cols = self.a.indices[lo:di]
+            x[i] = b[i] - np.dot(lu[lo:di], x[cols])
+
+    # -- dataflow -------------------------------------------------------
+    @property
+    def read_vars(self) -> tuple[str, ...]:
+        return (self.lu_var, self.b_var, self.x_var)
+
+    @property
+    def write_vars(self) -> tuple[str, ...]:
+        return (self.x_var,)
+
+    def var_sizes(self) -> dict[str, int]:
+        return {
+            self.lu_var: self.a.nnz,
+            self.b_var: self.a.n_rows,
+            self.x_var: self.a.n_rows,
+        }
+
+    def reads_of(self, var: str, i: int) -> np.ndarray:
+        lo = self.a.indptr[i]
+        di = self._diag_off[i]
+        if var == self.lu_var:
+            return np.arange(lo, di, dtype=INDEX_DTYPE)
+        if var == self.b_var:
+            return np.array([i], dtype=INDEX_DTYPE)
+        if var == self.x_var:
+            return self.a.indices[lo:di]
+        return _EMPTY
+
+    def writes_of(self, var: str, i: int) -> np.ndarray:
+        if var == self.x_var:
+            return np.array([i], dtype=INDEX_DTYPE)
+        return _EMPTY
+
+    def write_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
+        n = self.n_iterations
+        if var == self.x_var:
+            return (
+                np.arange(n + 1, dtype=INDEX_DTYPE),
+                np.arange(n, dtype=INDEX_DTYPE),
+            )
+        return np.zeros(n + 1, dtype=INDEX_DTYPE), _EMPTY
+
+    # -- codegen ---------------------------------------------------------
+    def codegen_consts(self) -> dict[str, np.ndarray]:
+        return {
+            "indptr": self.a.indptr,
+            "indices": self.a.indices,
+            "diag": self._diag_off,
+        }
+
+    def codegen_body(self, prefix: str) -> str:
+        lu = self.cg_var(prefix, self.lu_var)
+        b = self.cg_var(prefix, self.b_var)
+        x = self.cg_var(prefix, self.x_var)
+        return (
+            f"lo = {prefix}indptr[i]; di = {prefix}diag[i]\n"
+            f"{x}[i] = {b}[i] - np.dot({lu}[lo:di], "
+            f"{x}[{prefix}indices[lo:di]])"
+        )
+
+    # -- costs ----------------------------------------------------------
+    def iteration_costs(self) -> np.ndarray:
+        return (self._diag_off - self.a.indptr[:-1] + 1).astype(VALUE_DTYPE)
+
+    def flop_count(self) -> float:
+        return float(2 * (self._diag_off - self.a.indptr[:-1]).sum())

@@ -1,0 +1,42 @@
+"""Runtime: executors, the simulated machine, the cache model, metrics."""
+
+from .cache import AddressSpace, CacheConfig, LRUCache, ThreadCache
+from .batched import execute_schedule_batched
+from .executor import allocate_state, execute_schedule, run_reference
+from .machine import MachineConfig, MachineReport, SimulatedMachine
+from .profiling import ScheduleProfile, format_profile, profile_schedule
+from .metrics import (
+    average_memory_latency,
+    barrier_reduction,
+    fusion_edge_growth,
+    gflops,
+    ner,
+    potential_gain,
+)
+from .threaded import ThreadedExecutor
+from .trace import export_chrome_trace
+
+__all__ = [
+    "AddressSpace",
+    "CacheConfig",
+    "LRUCache",
+    "ThreadCache",
+    "allocate_state",
+    "execute_schedule",
+    "execute_schedule_batched",
+    "run_reference",
+    "MachineConfig",
+    "MachineReport",
+    "SimulatedMachine",
+    "ThreadedExecutor",
+    "gflops",
+    "potential_gain",
+    "average_memory_latency",
+    "ner",
+    "fusion_edge_growth",
+    "barrier_reduction",
+    "ScheduleProfile",
+    "profile_schedule",
+    "format_profile",
+    "export_chrome_trace",
+]

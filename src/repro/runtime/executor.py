@@ -1,0 +1,84 @@
+"""Schedule executors.
+
+Two executors share the same contract — given a valid schedule, the final
+state must equal the unfused sequential reference:
+
+* :func:`execute_schedule` — runs iterations one at a time in schedule
+  order (s-partitions in sequence; within an s-partition, w-partitions
+  back to back; within a w-partition, the packed order). Any *valid*
+  schedule executed this way is equivalent to some legal parallel
+  interleaving, so this is the numerical oracle for schedulers.
+* :class:`ThreadedExecutor` in :mod:`repro.runtime.threaded` — runs
+  w-partitions on real threads with a barrier per s-partition (GIL-bound,
+  for correctness demonstration only; see DESIGN.md §2).
+
+Both variants of the paper's fused transformation (Fig. 3) collapse to
+the same execution here: *separated* and *interleaved* differ only in
+the vertex order stored inside each w-partition, which the schedule
+already encodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.base import Kernel, State, make_state
+from ..schedule.schedule import FusedSchedule
+
+__all__ = ["execute_schedule", "run_reference", "allocate_state"]
+
+
+def allocate_state(kernels: list[Kernel], *, fill: float = 0.0) -> State:
+    """Allocate a state covering every variable of *kernels* (zeroed)."""
+    sizes: dict[str, int] = {}
+    for k in kernels:
+        for var, size in k.var_sizes().items():
+            if var in sizes and sizes[var] != size:
+                raise ValueError(
+                    f"variable {var!r} has conflicting sizes "
+                    f"{sizes[var]} vs {size}"
+                )
+            sizes[var] = size
+    return make_state(sizes, fill=fill)
+
+
+def run_reference(kernels: list[Kernel], state: State) -> State:
+    """Run every kernel's sequential reference in program order."""
+    for k in kernels:
+        k.run_reference(state)
+    return state
+
+
+def execute_schedule(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    state: State,
+) -> State:
+    """Execute *schedule* against *state* (sequential-faithful order).
+
+    Kernel ``setup`` hooks run first (they only touch kernel-owned
+    outputs, so running them all upfront is safe); then every vertex in
+    schedule order. Returns the mutated state.
+    """
+    if len(kernels) != len(schedule.loop_counts):
+        raise ValueError(
+            f"{len(kernels)} kernels for {len(schedule.loop_counts)} loops"
+        )
+    for k, kern in enumerate(kernels):
+        if kern.n_iterations != schedule.loop_counts[k]:
+            raise ValueError(
+                f"loop {k}: kernel has {kern.n_iterations} iterations, "
+                f"schedule expects {schedule.loop_counts[k]}"
+            )
+    offsets = schedule.offsets
+    for kern in kernels:
+        kern.setup(state)
+    scratches = [k.make_scratch() for k in kernels]
+    loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
+    for k in range(len(kernels)):
+        loop_of[offsets[k] : offsets[k + 1]] = k
+    for _, _, verts in schedule.iter_all():
+        for v in verts.tolist():
+            k = int(loop_of[v])
+            kernels[k].run_iteration(v - int(offsets[k]), state, scratches[k])
+    return state

@@ -1,0 +1,219 @@
+"""Simulated multicore machine — the testbed stand-in (see DESIGN.md §2).
+
+CPython's GIL rules out real fine-grained parallel fused loops, so the
+performance substrate is a deterministic machine model that prices
+exactly the three effects the paper's evaluation turns on:
+
+* **synchronization** — each s-partition boundary costs a barrier
+  (``barrier_cycles``), paid once per s-partition by every thread;
+* **load balance** — an s-partition takes as long as its slowest
+  w-partition (threads are pinned: w-partition ``w`` runs on thread
+  ``w``), idle threads wait;
+* **locality** — per-iteration memory cost comes either from the LRU
+  cache simulator (``fidelity="cache"``, Fig. 6) or from a flat
+  per-touched-nonzero charge (``fidelity="flat"``, fast sweeps).
+
+The compute charge is ``cycles_per_nnz * c(v) + cycles_per_iter`` with an
+optional per-run ``efficiency`` multiplier (< 1 models hand-vectorized
+library code like MKL; the schedule layout is unaffected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.base import Kernel
+from ..schedule.schedule import FusedSchedule
+from .cache import AddressSpace, CacheConfig, ThreadCache
+
+__all__ = ["MachineConfig", "MachineReport", "SimulatedMachine"]
+
+
+class MachineConfig:
+    """Cost-model parameters of the simulated machine."""
+
+    __slots__ = (
+        "n_threads",
+        "cycles_per_nnz",
+        "cycles_per_iter",
+        "barrier_cycles",
+        "clock_ghz",
+        "cache",
+    )
+
+    def __init__(
+        self,
+        n_threads: int = 20,
+        *,
+        cycles_per_nnz: float = 4.0,
+        cycles_per_iter: float = 12.0,
+        barrier_cycles: float = 2500.0,
+        clock_ghz: float = 2.5,
+        cache: CacheConfig | None = None,
+    ):
+        self.n_threads = int(n_threads)
+        self.cycles_per_nnz = float(cycles_per_nnz)
+        self.cycles_per_iter = float(cycles_per_iter)
+        self.barrier_cycles = float(barrier_cycles)
+        self.clock_ghz = float(clock_ghz)
+        self.cache = cache if cache is not None else CacheConfig()
+
+
+@dataclass
+class MachineReport:
+    """Result of one simulated execution."""
+
+    total_cycles: float
+    spartition_cycles: list[float]
+    busy_cycles: np.ndarray  # (n_spartitions, n_threads) thread busy time
+    n_barriers: int
+    cache_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock seconds at the configured clock (set by the machine)."""
+        return self._seconds
+
+    _seconds: float = 0.0
+
+    @property
+    def wait_cycles(self) -> float:
+        """Total thread wait (idle-at-barrier) cycles across s-partitions."""
+        per_sp = self.busy_cycles.max(axis=1, initial=0.0)[:, None] - self.busy_cycles
+        return float(per_sp.sum())
+
+    def potential_gain(self, n_threads: int, barrier_cycles: float = 0.0) -> float:
+        """VTune-style OpenMP potential gain: total parallel overhead
+        (wait at barriers + barrier cost itself) divided by thread count."""
+        overhead = self.wait_cycles + self.n_barriers * barrier_cycles * n_threads
+        return float(overhead / max(1, n_threads))
+
+    @property
+    def avg_memory_latency(self) -> float:
+        """Average cycles per element access (cache fidelity only)."""
+        acc = self.cache_stats.get("accesses", 0.0)
+        return self.cache_stats.get("cycles", 0.0) / acc if acc else 0.0
+
+
+class SimulatedMachine:
+    """Deterministic executor-timing model for fused schedules."""
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config if config is not None else MachineConfig()
+
+    def simulate(
+        self,
+        schedule: FusedSchedule,
+        kernels: list[Kernel],
+        *,
+        fidelity: str = "flat",
+        efficiency: float = 1.0,
+        sequential_override: set[int] | None = None,
+    ) -> MachineReport:
+        """Price *schedule* on the simulated machine.
+
+        Parameters
+        ----------
+        schedule:
+            The fused schedule (global vertex ids over *kernels*).
+        kernels:
+            The fused loops in program order.
+        fidelity:
+            ``"flat"`` — memory cost folded into ``cycles_per_nnz``;
+            ``"cache"`` — run the LRU simulator over each thread's access
+            stream (slower, used by the locality experiments).
+        efficiency:
+            Compute-cost multiplier (< 1 = more optimized executor code).
+        sequential_override:
+            Loop indices forced to serialize onto one thread *within each
+            w-partition set* — models library kernels that only ship a
+            sequential implementation (MKL's ``dcsrilu0``).
+        """
+        cfg = self.config
+        offsets = schedule.offsets
+        costs = np.concatenate([k.iteration_costs() for k in kernels])
+        n_sp = schedule.n_spartitions
+        busy = np.zeros((n_sp, cfg.n_threads))
+        sp_cycles: list[float] = []
+        cache_stats: dict[str, float] = {}
+
+        if fidelity == "cache":
+            space = AddressSpace()
+            sizes: dict[str, int] = {}
+            for k in kernels:
+                for var, size in k.var_sizes().items():
+                    sizes[var] = max(size, sizes.get(var, 0))
+            for var, size in sizes.items():
+                space.register(var, size)
+            caches = [ThreadCache(cfg.cache) for _ in range(cfg.n_threads)]
+
+        loop_of = np.zeros(schedule.n_vertices, dtype=np.int64)
+        for k in range(len(kernels)):
+            loop_of[offsets[k] : offsets[k + 1]] = k
+
+        for s, wlist in enumerate(schedule.s_partitions):
+            for w, verts in enumerate(wlist):
+                thread = w % cfg.n_threads
+                compute = (
+                    cfg.cycles_per_nnz * float(costs[verts].sum())
+                    + cfg.cycles_per_iter * verts.shape[0]
+                ) * efficiency
+                mem = 0.0
+                if fidelity == "cache":
+                    tc = caches[thread]
+                    for v in verts.tolist():
+                        k = int(loop_of[v])
+                        i = v - int(offsets[k])
+                        kern = kernels[k]
+                        for var in kern.read_vars:
+                            idx = kern.reads_of(var, i)
+                            if idx.shape[0]:
+                                mem += tc.access_elements(space.bases[var], idx)
+                        for var in kern.write_vars:
+                            idx = kern.writes_of(var, i)
+                            if idx.shape[0]:
+                                mem += tc.access_elements(space.bases[var], idx)
+                    # In cache fidelity the flat per-nnz charge would
+                    # double-count memory; keep only the iteration/ALU part.
+                    compute = (
+                        cfg.cycles_per_iter * verts.shape[0]
+                        + 1.0 * float(costs[verts].sum())
+                    ) * efficiency
+                busy[s, thread] += compute + mem
+            if sequential_override:
+                # serialize the override loops' work of this s-partition
+                # onto thread 0 (in addition to their parallel cost removal)
+                extra = 0.0
+                for w, verts in enumerate(wlist):
+                    thread = w % cfg.n_threads
+                    sel = verts[np.isin(loop_of[verts], list(sequential_override))]
+                    if sel.shape[0]:
+                        c = (
+                            cfg.cycles_per_nnz * float(costs[sel].sum())
+                            + cfg.cycles_per_iter * sel.shape[0]
+                        ) * efficiency
+                        busy[s, thread] -= c
+                        extra += c
+                busy[s, 0] += extra
+            sp_cycles.append(float(busy[s].max(initial=0.0)) + cfg.barrier_cycles)
+
+        if fidelity == "cache":
+            agg = {"accesses": 0.0, "l1_hits": 0.0, "llc_hits": 0.0, "misses": 0.0, "cycles": 0.0}
+            for tc in caches:
+                for key, val in tc.stats().items():
+                    if key in agg:
+                        agg[key] += val
+            cache_stats = agg
+
+        total = float(sum(sp_cycles))
+        report = MachineReport(
+            total_cycles=total,
+            spartition_cycles=sp_cycles,
+            busy_cycles=busy,
+            n_barriers=schedule.n_spartitions,
+            cache_stats=cache_stats,
+        )
+        report._seconds = total / (cfg.clock_ghz * 1e9)
+        return report

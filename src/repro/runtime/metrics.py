@@ -1,0 +1,83 @@
+"""Evaluation metrics: GFLOP/s, potential gain, memory latency, NER.
+
+These are the quantities on the axes of the paper's figures:
+
+* :func:`gflops` — Fig. 5 / Fig. 10 (theoretical flops over simulated
+  seconds; the flop count is computed once per kernel combination and
+  matrix and shared by every implementation, as in the paper),
+* :func:`average_memory_latency` / :func:`potential_gain` — Fig. 6,
+* :func:`ner` — Fig. 7's "number of executor runs to amortize the
+  inspector",
+* :func:`fusion_edge_growth` — the §4.2 statistic "the average number of
+  edges per vertex increases between 0.2–40% after fusion".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..graph.interdep import InterDep
+from ..kernels.base import Kernel
+from .machine import MachineConfig, MachineReport
+
+__all__ = [
+    "gflops",
+    "potential_gain",
+    "average_memory_latency",
+    "ner",
+    "fusion_edge_growth",
+    "barrier_reduction",
+]
+
+
+def gflops(kernels: list[Kernel], report: MachineReport) -> float:
+    """Theoretical GFLOP/s of one simulated execution."""
+    flops = sum(k.flop_count() for k in kernels)
+    sec = report.seconds
+    return flops / sec / 1e9 if sec > 0 else float("inf")
+
+
+def potential_gain(report: MachineReport, config: MachineConfig) -> float:
+    """VTune-style OpenMP potential gain of a simulated execution."""
+    return report.potential_gain(config.n_threads, config.barrier_cycles)
+
+
+def average_memory_latency(report: MachineReport) -> float:
+    """Average simulated cycles per element access (cache fidelity)."""
+    return report.avg_memory_latency
+
+
+def ner(inspector_time: float, baseline_time: float, executor_time: float) -> float:
+    """Number of executor runs that amortize the inspector (Fig. 7).
+
+    ``inspector_time / (baseline_time - executor_time)``; negative when
+    the executor is *slower* than the baseline (inspection never pays
+    off), matching the paper's convention.
+    """
+    denom = baseline_time - executor_time
+    if denom == 0:
+        return float("inf")
+    return inspector_time / denom
+
+
+def fusion_edge_growth(
+    dags: list[DAG], inter: dict[tuple[int, int], InterDep]
+) -> float:
+    """Relative growth of edges-per-vertex caused by the inter-DAG edges.
+
+    The §4.2 statistic: ``(edges_with_F / edges_without_F) - 1`` computed
+    on edges per vertex (vertex count is unchanged by fusion).
+    """
+    intra = sum(d.n_edges for d in dags)
+    cross = sum(f.nnz for f in inter.values())
+    if intra == 0:
+        return float("inf") if cross else 0.0
+    return cross / intra
+
+
+def barrier_reduction(n_barriers_base: int, n_barriers_fused: int) -> float:
+    """Fraction of synchronization barriers removed relative to a baseline."""
+    if n_barriers_base == 0:
+        return 0.0
+    return 1.0 - n_barriers_fused / n_barriers_base

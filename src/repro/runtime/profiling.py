@@ -1,0 +1,107 @@
+"""Schedule profiling: structural analysis of a fused schedule.
+
+Answers "why is this schedule fast/slow" without running anything:
+synchronization count, per-s-partition width and load spread, the
+work-span bound on achievable speedup, and the share of cost that sits
+on the schedule's critical path. Used by the CLI (``repro compare``)
+and the schedule-explorer example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.base import Kernel
+from ..schedule.schedule import FusedSchedule
+
+__all__ = ["ScheduleProfile", "profile_schedule", "format_profile"]
+
+
+@dataclass
+class ScheduleProfile:
+    """Structural metrics of one schedule (all derived, no simulation)."""
+
+    n_vertices: int
+    total_cost: float
+    n_spartitions: int
+    n_barriers: int
+    widths: list[int]
+    #: per s-partition: heaviest w-partition cost (the span contribution)
+    span_costs: list[float]
+    #: per s-partition: max/mean w-partition cost (1.0 = perfectly even)
+    imbalance: list[float]
+    packing: str
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def span(self) -> float:
+        """Sum of per-s-partition makespans — the schedule's work-span
+        critical path (in cost units, barriers excluded)."""
+        return float(sum(self.span_costs))
+
+    @property
+    def parallelism_bound(self) -> float:
+        """Work/span: the maximum speedup any machine could extract."""
+        return self.total_cost / self.span if self.span > 0 else 1.0
+
+    @property
+    def mean_imbalance(self) -> float:
+        """Cost-weighted mean of per-s-partition max/mean ratios."""
+        if not self.span_costs:
+            return 1.0
+        w = np.asarray(self.span_costs)
+        return float(np.average(np.asarray(self.imbalance), weights=np.maximum(w, 1e-12)))
+
+    @property
+    def mean_width(self) -> float:
+        """Average number of w-partitions per s-partition."""
+        return float(np.mean(self.widths)) if self.widths else 0.0
+
+
+def profile_schedule(
+    schedule: FusedSchedule, kernels: list[Kernel]
+) -> ScheduleProfile:
+    """Compute the structural profile of *schedule* for *kernels*."""
+    costs = np.concatenate([k.iteration_costs() for k in kernels])
+    widths: list[int] = []
+    span_costs: list[float] = []
+    imbalance: list[float] = []
+    for pc in schedule.partition_costs(costs):
+        widths.append(len(pc))
+        top = float(pc.max()) if len(pc) else 0.0
+        span_costs.append(top)
+        mean = float(pc.mean()) if len(pc) else 0.0
+        imbalance.append(top / mean if mean > 0 else 1.0)
+    return ScheduleProfile(
+        n_vertices=schedule.n_vertices,
+        total_cost=float(costs.sum()),
+        n_spartitions=schedule.n_spartitions,
+        n_barriers=schedule.n_barriers,
+        widths=widths,
+        span_costs=span_costs,
+        imbalance=imbalance,
+        packing=schedule.packing,
+        meta=dict(schedule.meta),
+    )
+
+
+def format_profile(profile: ScheduleProfile, *, name: str = "schedule") -> str:
+    """Render a profile as a compact human-readable block."""
+    lines = [
+        f"{name}: {profile.n_vertices} iterations, "
+        f"total cost {profile.total_cost:.0f}",
+        f"  s-partitions : {profile.n_spartitions} "
+        f"({profile.n_barriers} barriers)",
+        f"  widths       : mean {profile.mean_width:.1f}, "
+        f"max {max(profile.widths) if profile.widths else 0}",
+        f"  span         : {profile.span:.0f} "
+        f"(parallelism bound {profile.parallelism_bound:.1f}x)",
+        f"  imbalance    : {profile.mean_imbalance:.2f} "
+        f"(cost-weighted max/mean per s-partition)",
+        f"  packing      : {profile.packing}",
+    ]
+    if profile.meta.get("scheduler"):
+        lines.append(f"  scheduler    : {profile.meta['scheduler']}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Real-thread executor (correctness demonstration).
+
+Runs each s-partition's w-partitions on a pool of OS threads with a
+barrier between s-partitions — structurally the OpenMP executor of
+Fig. 3. Because of CPython's GIL this does not speed anything up (see
+DESIGN.md §2); its purpose is to demonstrate that valid schedules are
+race-free under genuine concurrency: every worker thread gets its own
+kernel scratch (via ``threading.local``), and tests compare the result
+bitwise against the sequential reference.
+
+Scatter kernels (SpMV-CSC, SpTRSV-CSC) accumulate into shared elements —
+the paper's ``Atomic`` annotation. NumPy's ``a[idx] += v`` is a
+read-modify-write that is *not* atomic element-wise across threads, so
+kernels declaring :attr:`~repro.kernels.base.Kernel.needs_atomic` execute
+their iterations under a per-executor lock — the Python analogue of the
+hardware atomic the paper's generated code uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..kernels.base import Kernel, State
+from ..schedule.schedule import FusedSchedule
+
+__all__ = ["ThreadedExecutor"]
+
+
+class ThreadedExecutor:
+    """Executes fused schedules on real threads, one per w-partition."""
+
+    def __init__(self, n_threads: int = 4):
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = int(n_threads)
+
+    def execute(
+        self,
+        schedule: FusedSchedule,
+        kernels: list[Kernel],
+        state: State,
+    ) -> State:
+        """Run *schedule*; returns the mutated state."""
+        offsets = schedule.offsets
+        loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
+        for k in range(len(kernels)):
+            loop_of[offsets[k] : offsets[k + 1]] = k
+        for kern in kernels:
+            kern.setup(state)
+
+        tls = threading.local()
+        atomic_lock = threading.Lock()
+        needs_atomic = [getattr(k, "needs_atomic", False) for k in kernels]
+
+        def run_wpartition(verts: np.ndarray) -> None:
+            scratches = getattr(tls, "scratches", None)
+            if scratches is None:
+                scratches = [k.make_scratch() for k in kernels]
+                tls.scratches = scratches
+            for v in verts.tolist():
+                k = int(loop_of[v])
+                i = v - int(offsets[k])
+                if needs_atomic[k]:
+                    with atomic_lock:
+                        kernels[k].run_iteration(i, state, scratches[k])
+                else:
+                    kernels[k].run_iteration(i, state, scratches[k])
+
+        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+            for wlist in schedule.s_partitions:
+                futures = [pool.submit(run_wpartition, verts) for verts in wlist]
+                for f in futures:
+                    f.result()  # barrier; re-raises worker exceptions
+        return state

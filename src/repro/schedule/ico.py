@@ -1,0 +1,686 @@
+"""Iteration Composition and Ordering (ICO) — the paper's core algorithm.
+
+ICO (Algorithm 1) builds the fused partitioning ``V`` for two (or more)
+loops without materializing the joint DAG, in three steps:
+
+1. **Vertex partitioning and partition pairing** — the *head* DAG (the
+   second loop's DAG when it has edges, else the first's) is partitioned
+   with LBC; tail-DAG vertices are then *paired* with head partitions by
+   walking the inter-dependence matrix ``F``: a tail vertex whose
+   relevant cross/intra dependencies all resolve to one head w-partition
+   joins that w-partition (a self-contained pair partition); vertices
+   whose dependencies span several w-partitions of one s-partition are
+   *uncontained* and are displaced one s-partition earlier (producers) or
+   later (consumers), creating a preamble/appendix partition when they
+   fall off either end.
+2. **Merging and slack vertex assignment** — adjacent s-partitions whose
+   cross w-partition dependence clusters don't reduce parallelism are
+   merged (removing a barrier — the paper's zero-slack pair merge), then
+   *slack vertices* (those whose dependence window spans several
+   s-partitions) are pulled out and re-assigned to under-loaded
+   w-partitions, deadline-first (``balance_with_slack`` +
+   ``assign_even``).
+3. **Packing** — within every w-partition, *separated* packing
+   (``reuse_ratio < 1``) orders vertices by (loop, iteration) for spatial
+   locality inside each kernel, while *interleaved* packing
+   (``reuse_ratio >= 1``) emits consumers eagerly right after their
+   producers (a DFS topological order of the in-partition subgraph) for
+   temporal locality across kernels.
+
+The output always passes :func:`repro.schedule.schedule.validate_schedule`
+— correctness is enforced by construction and double-checked in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..graph.interdep import InterDep
+from ..sparse.base import INDEX_DTYPE
+from .lbc import lbc_schedule
+from .partition_utils import pack_components, window_components
+from .schedule import FusedSchedule
+
+__all__ = ["ico_schedule"]
+
+
+def ico_schedule(
+    dags: list[DAG],
+    inter: dict[tuple[int, int], InterDep],
+    r: int,
+    reuse_ratio: float,
+    *,
+    initial_cut: int = 1,
+    coarsening_factor: int = 400,
+    balance_eps_factor: float = 0.001,
+    merge: bool = True,
+    balance: bool = True,
+) -> FusedSchedule:
+    """Run ICO over *dags* (program order) and inter-dependencies *inter*.
+
+    Parameters
+    ----------
+    dags:
+        Intra-kernel DAGs in program order (two or more).
+    inter:
+        ``(producer_loop, consumer_loop) -> InterDep``.
+    r:
+        Number of requested w-partitions per s-partition (threads).
+    reuse_ratio:
+        The inspector's reuse metric; selects the packing strategy.
+    initial_cut, coarsening_factor:
+        Forwarded to LBC for the head partitioning.
+    balance_eps_factor:
+        The paper's ``eps = |V| * 0.001`` balance tolerance, as a factor
+        of total vertex cost.
+    merge, balance:
+        Ablation switches for step 2's two halves.
+    """
+    if len(dags) < 2:
+        raise ValueError("ICO fuses at least two loops")
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    builder = _IcoBuilder(dags, inter, r)
+
+    # --- step 1: vertex partitioning + partition pairing ---------------
+    head = 1 if dags[1].has_edges else 0  # Algorithm 1, line 1
+    head_sched = lbc_schedule(
+        dags[head], r, initial_cut=initial_cut, coarsening_factor=coarsening_factor
+    )
+    builder.install_head(head, head_sched)
+    if head == 1:
+        builder.embed_backward(0)
+    else:
+        builder.embed_forward(1)
+    for t in range(2, len(dags)):  # Sec. 3.3: one additional loop at a time
+        builder.embed_forward(t)
+    builder.finalize_partitions()
+
+    # --- step 2: merging + slack vertex assignment ---------------------
+    if merge:
+        builder.merge_adjacent()
+    if balance:
+        builder.slack_balance(balance_eps_factor)
+
+    # --- step 3: packing ------------------------------------------------
+    packing = "interleaved" if reuse_ratio >= 1.0 else "separated"
+    sched = builder.build_schedule(packing)
+    sched.meta["scheduler"] = "ico"
+    sched.meta["head"] = head
+    sched.meta["reuse_ratio"] = float(reuse_ratio)
+    return sched
+
+
+class _IcoBuilder:
+    """Mutable partitioning state shared by the ICO steps.
+
+    Vertices are global ids over the fused loops. ``sp``/``wp`` map each
+    vertex to its s-/w-partition; ``-2`` marks "not yet placed" and a
+    *preamble* uses ``sp == -1`` until :meth:`finalize_partitions`
+    renumbers. ``loads[s][w]`` tracks w-partition cost for balance
+    decisions during embedding.
+    """
+
+    def __init__(self, dags, inter, r):
+        self.dags = dags
+        self.inter = inter
+        self.r = r
+        self.offsets = np.zeros(len(dags) + 1, dtype=INDEX_DTYPE)
+        np.cumsum([d.n for d in dags], out=self.offsets[1:])
+        self.n_total = int(self.offsets[-1])
+        self.weights = np.concatenate([d.weights for d in dags])
+        self.sp = np.full(self.n_total, -2, dtype=INDEX_DTYPE)
+        self.wp = np.full(self.n_total, -1, dtype=INDEX_DTYPE)
+        self.loads: list[list[float]] = []
+        self.preamble: list[int] = []
+        self._sticky: dict[int, int] = {}
+        # Sticky-run quantum: contiguous-run granularity for displaced /
+        # slack vertex streams. 1/(32 r) of total cost keeps runs long
+        # enough for unit-stride locality yet small against per-thread
+        # load (~1/r), so balance is unaffected at the makespan level.
+        total_w = float(self.weights.sum()) if self.n_total else 1.0
+        self._sticky_quantum = total_w / (32.0 * max(1, r))
+        # Combined predecessor/successor adjacency in global-id space is
+        # assembled lazily per loop during embedding; after
+        # finalize_partitions, full arrays exist for merging/balancing.
+        self._g_pred = None
+        self._g_succ = None
+
+    # ------------------------------------------------------------------
+    # Step 1 helpers
+    # ------------------------------------------------------------------
+    def install_head(self, head: int, head_sched: FusedSchedule) -> None:
+        """Adopt the LBC partitioning of the head loop."""
+        off = int(self.offsets[head])
+        self.n_sparts = head_sched.n_spartitions
+        self.loads = []
+        for s, wlist in enumerate(head_sched.s_partitions):
+            loads = []
+            for w, verts in enumerate(wlist):
+                g = verts + off
+                self.sp[g] = s
+                self.wp[g] = w
+                loads.append(float(self.weights[g].sum()))
+            # reserve empty slots up to r so embedding can open new
+            # w-partitions for displaced vertices
+            while len(loads) < self.r:
+                loads.append(0.0)
+            self.loads.append(loads)
+
+    def _producers_of(self, t: int):
+        """Per-vertex producer lists for loop *t*: intra preds (global)
+        and F-producers from every earlier loop.
+
+        Returns a closure over plain Python lists — the embedding loop is
+        per-vertex and scalar, where list indexing beats numpy slicing by
+        an order of magnitude.
+        """
+        dag = self.dags[t]
+        off = int(self.offsets[t])
+        pred_ptr, pred_idx = dag.predecessor_arrays()
+        pptr = pred_ptr.tolist()
+        pidx = pred_idx.tolist()
+        fs = []
+        for e in range(t):
+            f = self.inter.get((e, t))
+            if f is not None and f.nnz:
+                fs.append(
+                    (int(self.offsets[e]), f.row_indptr.tolist(), f.row_indices.tolist())
+                )
+        def producers(i: int) -> list[int]:
+            out = [off + p for p in pidx[pptr[i] : pptr[i + 1]]]
+            for foff, fptr, fidx in fs:
+                out.extend(foff + p for p in fidx[fptr[i] : fptr[i + 1]])
+            return out
+        return producers
+
+    def _consumers_of(self, t: int):
+        """Per-vertex consumer lists for loop *t*: intra succs (global)
+        and F-consumers in every later loop (plain-list closure, see
+        :meth:`_producers_of`)."""
+        dag = self.dags[t]
+        off = int(self.offsets[t])
+        ptr = dag.indptr.tolist()
+        idx = dag.indices.tolist()
+        fs = [
+            (int(self.offsets[c]), self.inter[(t, c)])
+            for c in range(t + 1, len(self.dags))
+            if (t, c) in self.inter and self.inter[(t, c)].nnz
+        ]
+        def consumers(i: int) -> list[int]:
+            out = [off + s for s in idx[ptr[i] : ptr[i + 1]]]
+            for coff, f in fs:
+                out.extend(coff + c for c in f.consumers(i).tolist())
+            return out
+        return consumers
+
+    def _least_loaded(self, s: int) -> int:
+        loads = self.loads[s]
+        return int(np.argmin(loads))
+
+    def _sticky_bin(self, s: int) -> int:
+        """Locality-preserving bin choice for streams of displaced/free
+        vertices.
+
+        Plain per-vertex ``argmin`` round-robins consecutive iterations
+        across w-partitions, destroying unit-stride access (each thread
+        would own every r-th row). Instead, stay on the current bin until
+        it exceeds the least-loaded bin by a *quantum* (a fraction of the
+        average vertex cost times a run length), then jump to the
+        least-loaded bin — contiguous runs, still balanced.
+        """
+        loads = self.loads[s]
+        prev = self._sticky.get(s)
+        quantum = self._sticky_quantum
+        w_min = min(range(len(loads)), key=loads.__getitem__)
+        if prev is not None and loads[prev] <= loads[w_min] + quantum:
+            return prev
+        self._sticky[s] = w_min
+        return w_min
+
+    def _place(self, v: int, s: int, w: int) -> None:
+        self.sp[v] = s
+        self.wp[v] = w
+        if s >= 0:
+            self.loads[s][w] += float(self.weights[v])
+
+    def _append_spartition(self) -> int:
+        self.loads.append([0.0] * self.r)
+        self.n_sparts += 1
+        return self.n_sparts - 1
+
+    def embed_forward(self, t: int) -> None:
+        """Pair loop *t* (a consumer loop) with the existing partitioning.
+
+        Forward topological order; each vertex lands with its latest
+        producer when that producer's w-partition is unique, one
+        s-partition later otherwise (the uncontained case).
+        """
+        producers = self._producers_of(t)
+        off = int(self.offsets[t])
+        sp = self.sp.tolist()
+        wp = self.wp.tolist()
+        weights = self.weights.tolist()
+        loads = self.loads
+        for i in range(self.dags[t].n):
+            v = off + i
+            prods = producers(i)
+            if not prods:
+                # Free vertex (no producers): drop in the least-loaded
+                # w-partition of s-partition 0 *immediately*, so later
+                # vertices that depend on it see a real placement; slack
+                # balancing may move it anywhere (unbounded-below window).
+                w = self._sticky_bin(0)
+                sp[v], wp[v] = 0, w
+                loads[0][w] += weights[v]
+                continue
+            s_max = max(sp[p] for p in prods)
+            if s_max < 0:
+                # producers only in the preamble: anything from s0 works
+                w = self._sticky_bin(0)
+                sp[v], wp[v] = 0, w
+                loads[0][w] += weights[v]
+                continue
+            w_first = -1
+            unique = True
+            for p in prods:
+                if sp[p] == s_max:
+                    if w_first < 0:
+                        w_first = wp[p]
+                    elif wp[p] != w_first:
+                        unique = False
+                        break
+            if unique:
+                sp[v], wp[v] = s_max, w_first
+                loads[s_max][w_first] += weights[v]
+            else:
+                s_target = s_max + 1
+                if s_target >= self.n_sparts:
+                    self._append_spartition()
+                w = self._sticky_bin(s_target)
+                sp[v], wp[v] = s_target, w
+                loads[s_target][w] += weights[v]
+        self.sp = np.asarray(sp, dtype=INDEX_DTYPE)
+        self.wp = np.asarray(wp, dtype=INDEX_DTYPE)
+
+    def embed_backward(self, t: int) -> None:
+        """Pair loop *t* (a producer loop) with the existing partitioning.
+
+        Reverse topological order; each vertex lands with its earliest
+        consumer when unique, one s-partition earlier otherwise; vertices
+        forced before s-partition 0 go to the preamble (``sp == -1``).
+        """
+        consumers = self._consumers_of(t)
+        off = int(self.offsets[t])
+        sp = self.sp.tolist()
+        wp = self.wp.tolist()
+        weights = self.weights.tolist()
+        loads = self.loads
+        last = self.n_sparts - 1
+        for i in range(self.dags[t].n - 1, -1, -1):
+            v = off + i
+            cons = consumers(i)
+            if not cons:
+                # Free vertex (no consumers): place immediately in the last
+                # s-partition so predecessors processed later see it.
+                w = self._sticky_bin(last)
+                sp[v], wp[v] = last, w
+                loads[last][w] += weights[v]
+                continue
+            s_min = min(sp[c] for c in cons)
+            if s_min == -1:
+                # consumer already in the preamble: join it there
+                sp[v] = -1
+                self.preamble.append(v)
+                continue
+            w_first = -1
+            unique = True
+            for c in cons:
+                if sp[c] == s_min:
+                    if w_first < 0:
+                        w_first = wp[c]
+                    elif wp[c] != w_first:
+                        unique = False
+                        break
+            if unique:
+                sp[v], wp[v] = s_min, w_first
+                loads[s_min][w_first] += weights[v]
+            else:
+                s_target = s_min - 1
+                if s_target < 0:
+                    sp[v] = -1
+                    self.preamble.append(v)
+                else:
+                    w = self._sticky_bin(s_target)
+                    sp[v], wp[v] = s_target, w
+                    loads[s_target][w] += weights[v]
+        self.sp = np.asarray(sp, dtype=INDEX_DTYPE)
+        self.wp = np.asarray(wp, dtype=INDEX_DTYPE)
+
+    def finalize_partitions(self) -> None:
+        """Materialize the preamble (if any) and the global adjacency."""
+        if self.preamble:
+            # Group preamble vertices into independent w-partitions via
+            # connected components of their induced subgraph (all belong
+            # to producer loops; every dependence among them stays inside
+            # one component, so component grouping is dependence-safe).
+            verts = np.asarray(sorted(self.preamble), dtype=INDEX_DTYPE)
+            comps = self._global_components(verts)
+            costs = [float(self.weights[c].sum()) for c in comps]
+            packed = pack_components(comps, costs, self.r)
+            self.sp[self.sp >= 0] += 1
+            self.n_sparts += 1
+            loads = [0.0] * self.r
+            for w, grp in enumerate(packed):
+                self.sp[grp] = 0
+                self.wp[grp] = w
+                loads[w] = float(self.weights[grp].sum())
+            self.loads.insert(0, loads)
+            self.preamble = []
+        self._build_global_adjacency()
+
+    def _build_global_adjacency(self) -> None:
+        """Union of all intra-DAG and inter-loop edges in global ids."""
+        srcs, dsts = [], []
+        for k, d in enumerate(self.dags):
+            if d.n_edges:
+                e = d.edge_list() + int(self.offsets[k])
+                srcs.append(e[:, 0])
+                dsts.append(e[:, 1])
+        for (a, b), f in self.inter.items():
+            if f.nnz:
+                e = f.edge_list()
+                srcs.append(e[:, 0] + int(self.offsets[a]))
+                dsts.append(e[:, 1] + int(self.offsets[b]))
+        if srcs:
+            src = np.concatenate(srcs)
+            dst = np.concatenate(dsts)
+        else:
+            src = dst = np.empty(0, dtype=INDEX_DTYPE)
+        self._g_edges = (src, dst)
+        n = self.n_total
+        order = np.argsort(src, kind="stable")
+        sptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(src, minlength=n), out=sptr[1:])
+        self._g_succ = (sptr, dst[order])
+        order = np.argsort(dst, kind="stable")
+        pptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(dst, minlength=n), out=pptr[1:])
+        self._g_pred = (pptr, src[order])
+
+    def _global_components(self, verts: np.ndarray) -> list[np.ndarray]:
+        """Weakly-connected components among *verts* over all edges."""
+        from .partition_utils import UnionFind
+
+        member = np.zeros(self.n_total, dtype=bool)
+        member[verts] = True
+        uf = UnionFind(self.n_total)
+        for k, d in enumerate(self.dags):
+            off = int(self.offsets[k])
+            for i in range(d.n):
+                v = off + i
+                if not member[v]:
+                    continue
+                for s in d.successors(i):
+                    if member[off + s]:
+                        uf.union(v, off + int(s))
+        for (a, b), f in self.inter.items():
+            aoff, boff = int(self.offsets[a]), int(self.offsets[b])
+            for j in range(f.n_first):
+                if not member[aoff + j]:
+                    continue
+                for c in f.consumers(j):
+                    if member[boff + int(c)]:
+                        uf.union(aoff + j, boff + int(c))
+        comps: dict[int, list[int]] = {}
+        for v in verts.tolist():
+            comps.setdefault(uf.find(v), []).append(v)
+        return [np.asarray(sorted(c), dtype=INDEX_DTYPE) for c in comps.values()]
+
+    # ------------------------------------------------------------------
+    # Step 2: merging + slack balancing
+    # ------------------------------------------------------------------
+    def merge_adjacent(self) -> None:
+        """Merge adjacent s-partitions when no parallelism is lost.
+
+        Two consecutive s-partitions merge by clustering their
+        w-partitions through the cross-dependence edges (a union-find):
+        if the resulting independent clusters are at least as many as the
+        wider of the two inputs (and at most ``r``), the barrier between
+        them is free to remove — the paper's zero-slack pair merge.
+        """
+        from .partition_utils import UnionFind
+
+        changed = True
+        while changed:
+            changed = False
+            s = 0
+            while s + 1 < self.n_sparts:
+                if self._try_merge(s, UnionFind):
+                    changed = True
+                else:
+                    s += 1
+
+    def _try_merge(self, s: int, uf_cls) -> bool:
+        mask_a = self.sp == s
+        mask_b = self.sp == s + 1
+        if not mask_a.any() or not mask_b.any():
+            self._drop_empty(s if not mask_a.any() else s + 1)
+            return True
+        width_a = np.unique(self.wp[mask_a]).shape[0]
+        width_b = np.unique(self.wp[mask_b]).shape[0]
+        # Cluster the w-partitions of both levels through the cross edges
+        # (node ids: 0..r-1 -> level s, r..2r-1 -> level s+1), vectorized:
+        # gather the unique (w_src, w_dst) pairs among edges s -> s+1.
+        esrc, edst = self._g_edges
+        cross = mask_a[esrc] & mask_b[edst]
+        uf = uf_cls(2 * self.r)
+        if cross.any():
+            pair_ids = self.wp[esrc[cross]] * (2 * self.r) + (
+                self.r + self.wp[edst[cross]]
+            )
+            for pid in np.unique(pair_ids).tolist():
+                uf.union(pid // (2 * self.r), pid % (2 * self.r))
+        used = set(self.wp[mask_a].tolist())
+        used.update(self.r + w for w in self.wp[mask_b].tolist())
+        roots = {uf.find(node) for node in used}
+        n_clusters = len(roots)
+        if n_clusters > self.r or n_clusters < max(width_a, width_b):
+            return False
+        # perform the merge: relabel w by cluster (vectorized lookup)
+        cluster_of = {node: i for i, node in enumerate(sorted(roots))}
+        lut = np.zeros(2 * self.r, dtype=INDEX_DTYPE)
+        for node in used:
+            lut[node] = cluster_of[uf.find(node)]
+        self.wp[mask_a] = lut[self.wp[mask_a]]
+        self.wp[mask_b] = lut[self.r + self.wp[mask_b]]
+        self.sp[mask_b] = s
+        self._recompute_loads_at(s)
+        self._drop_empty(s + 1)
+        return True
+
+    def _drop_empty(self, s: int) -> None:
+        self.sp[self.sp > s] -= 1
+        del self.loads[s]
+        self.n_sparts -= 1
+
+    def _recompute_loads_at(self, s: int) -> None:
+        verts = np.nonzero(self.sp == s)[0]
+        sums = np.bincount(
+            self.wp[verts], weights=self.weights[verts], minlength=self.r
+        )
+        self.loads[s] = sums.tolist()
+
+    def slack_balance(self, eps_factor: float) -> None:
+        """Rebalance w-partitions with slack vertices (Algorithm 1, 12-16).
+
+        A vertex's *window* is the s-partition range its dependencies
+        allow: ``lo = 1 + max(sp of preds)`` and ``hi = -1 + min(sp of
+        succs)`` (unbounded ends clamp to the schedule). Vertices with a
+        window wider than their current slot are pulled into a pool (an
+        independent set, so windows stay valid as the pool drains) and
+        re-placed deadline-first into the least-loaded w-partitions.
+        """
+        pptr, pidx = self._g_pred
+        sptr, sidx = self._g_succ
+        b = self.n_sparts
+        if b == 0:
+            return
+        eps = eps_factor * float(self.weights.sum())
+        # Strict dependence window: v may occupy ANY w-partition of an
+        # s-partition in [lo, hi] (all preds strictly earlier, all succs
+        # strictly later). A vertex *paired* into its producer's
+        # s-partition currently sits at lo-1; it is still movable — into
+        # its strict window — which is exactly what makes pairing safe to
+        # undo for balance.
+        lo = _segment_reduce(self.sp, pptr, pidx, np.maximum, 0, shift=1)
+        hi = _segment_reduce(self.sp, sptr, sidx, np.minimum, b - 1, shift=-1)
+        # Pool: vertices with a non-empty strict window, independent of
+        # other pooled vertices (so windows stay valid as the pool drains).
+        candidates = np.nonzero(
+            (hi >= lo) & ~((hi == lo) & (self.sp == lo))
+        )[0]
+        in_pool = np.zeros(self.n_total, dtype=bool)
+        pool: list[int] = []
+        pptr_l = pptr.tolist()
+        pidx_l = pidx.tolist()
+        sptr_l = sptr.tolist()
+        sidx_l = sidx.tolist()
+        for v in candidates.tolist():
+            clash = False
+            for p in pidx_l[pptr_l[v] : pptr_l[v + 1]]:
+                if in_pool[p]:
+                    clash = True
+                    break
+            if not clash:
+                for u in sidx_l[sptr_l[v] : sptr_l[v + 1]]:
+                    if in_pool[u]:
+                        clash = True
+                        break
+            if clash:
+                continue
+            in_pool[v] = True
+            pool.append(v)
+        if not pool:
+            return
+        orig_s = {v: int(self.sp[v]) for v in pool}
+        orig_w = {v: int(self.wp[v]) for v in pool}
+        for v in pool:
+            self.loads[self.sp[v]][self.wp[v]] -= float(self.weights[v])
+            self.sp[v] = -3
+        # Deadline-first, valley-filling placement: a vertex lands in the
+        # earliest allowed s-partition where it fits under the current
+        # makespan (never raising the peak), and is forced at its deadline.
+        # Ordering by (deadline, vertex id) plus a sticky bin keeps
+        # consecutive iterations together (spatial locality) instead of
+        # round-robin scattering them across threads.
+        pool.sort(key=lambda v: (hi[v], v))
+        quantum = self._sticky_quantum
+        remaining = pool
+        for s in range(b):
+            loads = self.loads[s]
+            peak = max(loads) if loads else 0.0
+            prev_w: int | None = None
+            nxt: list[int] = []
+            for v in remaining:
+                if lo[v] > s or hi[v] < s:
+                    nxt.append(v)
+                    continue
+                wv = float(self.weights[v])
+                must = hi[v] == s
+                w_min = min(range(len(loads)), key=loads.__getitem__)
+                # Prefer the vertex's original slot (pairing affinity —
+                # the locality the embedding created) when it fits; only
+                # genuinely displace vertices out of overloaded bins.
+                if s == orig_s[v] and loads[orig_w[v]] + wv <= max(peak, eps):
+                    w_min = orig_w[v]
+                elif prev_w is not None and loads[prev_w] <= loads[w_min] + quantum:
+                    w_min = prev_w
+                fits = loads[w_min] + wv <= max(peak, eps)
+                if must or fits:
+                    self.sp[v] = s
+                    self.wp[v] = w_min
+                    loads[w_min] += wv
+                    peak = max(peak, loads[w_min])
+                    prev_w = w_min
+                else:
+                    nxt.append(v)
+            remaining = nxt
+        # anything left (shouldn't be: hi <= b-1) goes to its earliest slot
+        for v in remaining:
+            s = min(max(int(lo[v]), 0), b - 1)
+            w = self._least_loaded(s)
+            self._place(v, s, w)
+
+    # ------------------------------------------------------------------
+    # Step 3: packing + schedule construction
+    # ------------------------------------------------------------------
+    def build_schedule(self, packing: str) -> FusedSchedule:
+        s_partitions: list[list[np.ndarray]] = []
+        for s in range(self.n_sparts):
+            verts = np.nonzero(self.sp == s)[0]
+            wlist = []
+            for w in sorted({int(x) for x in self.wp[verts]}):
+                grp = np.sort(verts[self.wp[verts] == w])
+                if grp.shape[0] == 0:
+                    continue
+                if packing == "interleaved":
+                    grp = self._interleave(grp)
+                wlist.append(grp.astype(INDEX_DTYPE))
+            if wlist:
+                s_partitions.append(wlist)
+        loop_counts = tuple(d.n for d in self.dags)
+        return FusedSchedule(loop_counts, s_partitions, packing=packing)
+
+    def _interleave(self, verts: np.ndarray) -> np.ndarray:
+        """DFS topological order of the in-partition subgraph: consumers
+        are emitted immediately after their last producer (temporal
+        locality across kernels)."""
+        sptr, sidx = self._g_succ
+        pptr, pidx = self._g_pred
+        member = {int(v): k for k, v in enumerate(verts)}
+        indeg = np.zeros(verts.shape[0], dtype=INDEX_DTYPE)
+        for k, v in enumerate(verts.tolist()):
+            for p in pidx[pptr[v] : pptr[v + 1]].tolist():
+                if p in member:
+                    indeg[k] += 1
+        order: list[int] = []
+        stack = [int(v) for v in verts[indeg == 0][::-1].tolist()]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            ready = []
+            for c in sidx[sptr[v] : sptr[v + 1]].tolist():
+                k = member.get(c)
+                if k is not None:
+                    indeg[k] -= 1
+                    if indeg[k] == 0:
+                        ready.append(c)
+            # push larger ids first so smaller iterations pop first
+            for c in sorted(ready, reverse=True):
+                stack.append(c)
+        if len(order) != verts.shape[0]:  # pragma: no cover - safety net
+            raise AssertionError("interleaved packing failed to order partition")
+        return np.asarray(order, dtype=INDEX_DTYPE)
+
+def _segment_reduce(values, indptr, indices, op, default, *, shift):
+    """Per-segment reduction ``op`` of ``values[indices]`` with *default*
+    for empty segments, plus a constant *shift* on non-empty results.
+
+    The vectorized core of the slack-window computation: ``lo`` is the
+    segment-max of predecessor s-partitions plus one, ``hi`` the
+    segment-min of successor s-partitions minus one.
+    """
+    n = indptr.shape[0] - 1
+    out = np.full(n, default, dtype=INDEX_DTYPE)
+    vals = values[indices]
+    if vals.shape[0] == 0:
+        return out
+    starts = indptr[:-1]
+    nonempty = np.diff(indptr) > 0
+    # Reduce only at non-empty segment starts (see utils.arrays
+    # .segment_sums): clipped starts for trailing empty segments would
+    # otherwise split the last non-empty segment's range.
+    out[nonempty] = op.reduceat(vals, starts[nonempty]) + shift
+    return out

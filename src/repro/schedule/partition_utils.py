@@ -1,0 +1,143 @@
+"""Shared partitioning utilities: union-find, component grouping, LPT packing."""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..sparse.base import INDEX_DTYPE
+
+__all__ = ["UnionFind", "lpt_pack", "pack_components", "window_components", "chunk_by_cost"]
+
+
+class UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        """Root of *x*'s set."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of *a* and *b*; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def lpt_pack(groups: list[np.ndarray], costs: list[float], n_bins: int) -> list[np.ndarray]:
+    """Longest-processing-time bin packing of vertex groups into bins.
+
+    Groups are assigned, heaviest first, to the currently lightest bin;
+    empty bins are dropped. Vertices within each bin are sorted ascending
+    (iteration order — always dependence-safe for naturally ordered DAGs).
+    """
+    n_bins = max(1, min(n_bins, len(groups)))
+    order = sorted(range(len(groups)), key=lambda g: -costs[g])
+    heap = [(0.0, b) for b in range(n_bins)]
+    heapq.heapify(heap)
+    bins: list[list[np.ndarray]] = [[] for _ in range(n_bins)]
+    for g in order:
+        load, b = heapq.heappop(heap)
+        bins[b].append(groups[g])
+        heapq.heappush(heap, (load + costs[g], b))
+    out = []
+    for b in bins:
+        if b:
+            out.append(np.sort(np.concatenate(b)))
+    return out
+
+
+def window_components(
+    dag: DAG, verts: np.ndarray, member: np.ndarray
+) -> list[np.ndarray]:
+    """Weakly-connected components of the subgraph induced on *verts*.
+
+    ``member`` must be a boolean mask over all DAG vertices that is True
+    exactly on *verts* (passed in to avoid re-allocating per call).
+    Returns each component as a sorted vertex array.
+    """
+    uf = UnionFind(dag.n)
+    ptr = dag.indptr
+    idx = dag.indices
+    for v in verts.tolist():
+        for s in idx[ptr[v] : ptr[v + 1]].tolist():
+            if member[s]:
+                uf.union(v, s)
+    comps: dict[int, list[int]] = {}
+    for v in verts.tolist():
+        comps.setdefault(uf.find(v), []).append(v)
+    return [np.asarray(sorted(c), dtype=INDEX_DTYPE) for c in comps.values()]
+
+
+def chunk_by_cost(verts: np.ndarray, weights: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+    """Split sorted *verts* into up to *n_chunks* contiguous, cost-balanced runs.
+
+    Used for parallel loops: contiguity preserves spatial locality and
+    ascending order is dependence-safe.
+    """
+    if verts.shape[0] == 0:
+        return []
+    n_chunks = max(1, min(n_chunks, verts.shape[0]))
+    w = weights[verts]
+    cum = np.cumsum(w)
+    total = cum[-1]
+    bounds = [0]
+    for k in range(1, n_chunks):
+        cut = int(np.searchsorted(cum, total * k / n_chunks))
+        bounds.append(max(bounds[-1], min(cut, verts.shape[0])))
+    bounds.append(verts.shape[0])
+    out = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if b > a:
+            out.append(verts[a:b])
+    return out
+
+
+def pack_components(
+    groups: list[np.ndarray], costs: list[float], n_bins: int
+) -> list[np.ndarray]:
+    """Pack independent vertex groups into balanced bins, locality-aware.
+
+    Two regimes:
+
+    * few, large groups (``len(groups) <= 4 * n_bins``) — LPT packing,
+      which balances best when group sizes dominate;
+    * many small groups (e.g. the singleton components of a parallel
+      loop) — groups are kept in ascending-vertex order and cut into
+      ``n_bins`` contiguous, cost-balanced runs. Heaviest-first LPT would
+      interleave neighbouring iterations across bins and destroy the
+      unit-stride access the kernels rely on (each thread would touch
+      every ``n_bins``-th row).
+    """
+    if len(groups) <= 4 * n_bins:
+        return lpt_pack(groups, costs, n_bins)
+    order = sorted(range(len(groups)), key=lambda g: int(groups[g][0]))
+    cum = np.cumsum([costs[g] for g in order])
+    total = float(cum[-1]) if len(cum) else 0.0
+    bounds = [0]
+    for k in range(1, n_bins):
+        cut = int(np.searchsorted(cum, total * k / n_bins))
+        bounds.append(max(bounds[-1], min(cut, len(order))))
+    bounds.append(len(order))
+    out = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if b > a:
+            out.append(np.sort(np.concatenate([groups[order[g]] for g in range(a, b)])))
+    return out

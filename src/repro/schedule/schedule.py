@@ -1,0 +1,239 @@
+"""The fused schedule type and its validity checker.
+
+A :class:`FusedSchedule` is the output of every scheduler in this library
+(ICO, LBC, DAGP, wavefront, and the unfused baselines): an ordered list
+of **s-partitions** executed sequentially with a barrier between them;
+each s-partition holds up to ``r`` independent **w-partitions** executed
+in parallel; each w-partition is an *ordered* list of vertices executed
+sequentially by one thread.
+
+Vertices live in a *global id space* covering all fused loops: loop
+``k``'s iteration ``i`` has id ``offsets[k] + i`` (the joint-DAG
+numbering of :mod:`repro.graph.joint`). A schedule over a single loop is
+just the special case of one loop.
+
+:func:`validate_schedule` is the single correctness oracle used by every
+test: it checks the *completeness* (each iteration exactly once) and the
+*dependence rule* — for every edge ``u -> v`` (intra-DAG or inter-kernel
+via ``F``), either ``spart(u) < spart(v)``, or both run in the same
+w-partition with ``u`` ordered before ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..graph.interdep import InterDep
+from ..sparse.base import INDEX_DTYPE
+
+__all__ = [
+    "FusedSchedule",
+    "ScheduleError",
+    "validate_schedule",
+    "concatenate_schedules",
+]
+
+
+class ScheduleError(AssertionError):
+    """Raised when a schedule violates completeness or a dependence."""
+
+
+@dataclass
+class FusedSchedule:
+    """Schedule of one or more fused loops (see module docstring).
+
+    Attributes
+    ----------
+    loop_counts:
+        Iteration count of every fused loop, in program order.
+    s_partitions:
+        ``s_partitions[s][w]`` is the ordered ``int64`` vertex array of
+        w-partition ``w`` inside s-partition ``s``.
+    packing:
+        ``"separated"``, ``"interleaved"`` or ``"none"`` — which packing
+        produced the within-w-partition order (informational).
+    fusion:
+        False for unfused baselines (each loop scheduled in its own span
+        of s-partitions).
+    """
+
+    loop_counts: tuple[int, ...]
+    s_partitions: list[list[np.ndarray]]
+    packing: str = "none"
+    fusion: bool = True
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def offsets(self) -> np.ndarray:
+        """Global-id offset of each loop (prefix sums of loop_counts)."""
+        out = np.zeros(len(self.loop_counts) + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.asarray(self.loop_counts, dtype=INDEX_DTYPE), out=out[1:])
+        return out
+
+    @property
+    def n_vertices(self) -> int:
+        """Total iterations across all loops."""
+        return int(sum(self.loop_counts))
+
+    @property
+    def n_spartitions(self) -> int:
+        """Number of s-partitions (sequential phases)."""
+        return len(self.s_partitions)
+
+    @property
+    def n_barriers(self) -> int:
+        """Synchronizations in the executor: one per s-partition boundary."""
+        return max(0, len(self.s_partitions) - 1)
+
+    def widths(self) -> list[int]:
+        """Number of w-partitions per s-partition."""
+        return [len(s) for s in self.s_partitions]
+
+    def vertex_loop(self, v: int) -> int:
+        """Loop index owning global vertex *v*."""
+        off = self.offsets
+        return int(np.searchsorted(off, v, side="right") - 1)
+
+    def split_vertex(self, v: int) -> tuple[int, int]:
+        """Global vertex id -> ``(loop_index, iteration)``."""
+        k = self.vertex_loop(v)
+        return k, int(v - self.offsets[k])
+
+    def assignment(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-vertex ``(spart, wpart, position)`` arrays.
+
+        Unscheduled vertices (a completeness error) keep ``-1``.
+        """
+        n = self.n_vertices
+        sp = np.full(n, -1, dtype=INDEX_DTYPE)
+        wp = np.full(n, -1, dtype=INDEX_DTYPE)
+        pos = np.full(n, -1, dtype=INDEX_DTYPE)
+        for s, wlist in enumerate(self.s_partitions):
+            for w, verts in enumerate(wlist):
+                sp[verts] = s
+                wp[verts] = w
+                pos[verts] = np.arange(verts.shape[0], dtype=INDEX_DTYPE)
+        return sp, wp, pos
+
+    def partition_costs(self, weights: np.ndarray) -> list[np.ndarray]:
+        """Total vertex weight of each w-partition, grouped by s-partition."""
+        return [
+            np.array([float(weights[w].sum()) for w in wlist])
+            for wlist in self.s_partitions
+        ]
+
+    def iter_all(self):
+        """Yield ``(s, w, vertex_array)`` triples."""
+        for s, wlist in enumerate(self.s_partitions):
+            for w, verts in enumerate(wlist):
+                yield s, w, verts
+
+    def copy(self) -> "FusedSchedule":
+        """Deep copy (vertex arrays copied)."""
+        return FusedSchedule(
+            self.loop_counts,
+            [[v.copy() for v in wlist] for wlist in self.s_partitions],
+            packing=self.packing,
+            fusion=self.fusion,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FusedSchedule(loops={self.loop_counts}, "
+            f"s={self.n_spartitions}, widths={self.widths()[:8]}"
+            f"{'...' if self.n_spartitions > 8 else ''})"
+        )
+
+
+def validate_schedule(
+    schedule: FusedSchedule,
+    dags: list[DAG],
+    inter: dict[tuple[int, int], InterDep] | None = None,
+) -> None:
+    """Raise :class:`ScheduleError` unless *schedule* is valid.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule under test.
+    dags:
+        One intra-DAG per loop, in program order.
+    inter:
+        ``(producer_loop, consumer_loop) -> InterDep`` cross-loop
+        dependencies (the ``F`` matrices). May be ``None`` for a single
+        loop.
+    """
+    if len(dags) != len(schedule.loop_counts):
+        raise ScheduleError(
+            f"{len(dags)} DAGs for {len(schedule.loop_counts)} loops"
+        )
+    for k, d in enumerate(dags):
+        if d.n != schedule.loop_counts[k]:
+            raise ScheduleError(
+                f"loop {k}: DAG has {d.n} vertices, schedule expects "
+                f"{schedule.loop_counts[k]}"
+            )
+    off = schedule.offsets
+    sp, wp, pos = schedule.assignment()
+    # Completeness: every vertex scheduled exactly once.
+    if np.any(sp < 0):
+        missing = np.nonzero(sp < 0)[0]
+        raise ScheduleError(f"{missing.shape[0]} unscheduled vertices, e.g. {missing[:5]}")
+    counts = np.zeros(schedule.n_vertices, dtype=INDEX_DTYPE)
+    for _, _, verts in schedule.iter_all():
+        np.add.at(counts, verts, 1)
+    dup = np.nonzero(counts != 1)[0]
+    if dup.size:
+        raise ScheduleError(f"vertices scheduled != once: {dup[:5]} (counts {counts[dup[:5]]})")
+
+    def check_edges(src: np.ndarray, dst: np.ndarray, label: str) -> None:
+        if src.size == 0:
+            return
+        ok_s = sp[src] < sp[dst]
+        same = (sp[src] == sp[dst]) & (wp[src] == wp[dst]) & (pos[src] < pos[dst])
+        bad = ~(ok_s | same)
+        if np.any(bad):
+            i = int(np.nonzero(bad)[0][0])
+            raise ScheduleError(
+                f"{label} dependence violated: {src[i]} -> {dst[i]} "
+                f"(s={sp[src[i]]},w={wp[src[i]]},p={pos[src[i]]}) !< "
+                f"(s={sp[dst[i]]},w={wp[dst[i]]},p={pos[dst[i]]})"
+            )
+
+    for k, d in enumerate(dags):
+        if d.n_edges:
+            edges = d.edge_list()
+            check_edges(edges[:, 0] + off[k], edges[:, 1] + off[k], f"intra loop {k}")
+    if inter:
+        for (a, b), f in inter.items():
+            if f.nnz == 0:
+                continue
+            edges = f.edge_list()  # (producer_j, consumer_i)
+            check_edges(edges[:, 0] + off[a], edges[:, 1] + off[b], f"inter {a}->{b}")
+
+
+def concatenate_schedules(parts: list[FusedSchedule]) -> FusedSchedule:
+    """Run several single-loop schedules back to back (unfused execution).
+
+    Loop ``k`` of the result is loop 0 of ``parts[k]``; its s-partitions
+    are appended after all of loop ``k-1``'s, which trivially satisfies
+    every cross-loop dependence — exactly what unfused ParSy/MKL do.
+    """
+    loop_counts = []
+    s_partitions: list[list[np.ndarray]] = []
+    offset = 0
+    for p in parts:
+        if len(p.loop_counts) != 1:
+            raise ValueError("concatenate_schedules expects single-loop parts")
+        loop_counts.append(p.loop_counts[0])
+        for wlist in p.s_partitions:
+            s_partitions.append([v + offset for v in wlist])
+        offset += p.loop_counts[0]
+    return FusedSchedule(
+        tuple(loop_counts), s_partitions, packing="none", fusion=False
+    )

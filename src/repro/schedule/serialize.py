@@ -1,0 +1,148 @@
+"""Schedule persistence: save/load fused schedules with pattern guards.
+
+The paper's inspector-executor contract is that "the fused schedule can
+be reused as long as the sparsity patterns of A and L do not change" —
+iterative solvers pay inspection once and reuse the schedule for the
+whole solve, and across solves with the same pattern. This module makes
+that reuse durable: schedules serialize to a single ``.npz`` file, and a
+*pattern fingerprint* (a SHA-256 over the operand's structure arrays)
+recorded at save time is verified at load time, so a stale schedule is
+rejected instead of silently producing a wrong execution order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..sparse.base import INDEX_DTYPE
+from .schedule import FusedSchedule
+
+__all__ = [
+    "pattern_fingerprint",
+    "save_schedule",
+    "load_schedule",
+    "ScheduleFormatError",
+]
+
+_FORMAT_VERSION = 1
+
+
+class ScheduleFormatError(RuntimeError):
+    """Raised for malformed files or fingerprint mismatches."""
+
+
+def pattern_fingerprint(*operands) -> str:
+    """SHA-256 over the structure (not values) of sparse operands.
+
+    Accepts any objects exposing ``indptr``/``indices`` arrays
+    (:class:`CSRMatrix`, :class:`CSCMatrix`, :class:`DAG`, ...); the
+    digest changes iff any pattern changes — exactly the schedule-reuse
+    condition.
+    """
+    h = hashlib.sha256()
+    for op in operands:
+        for attr in ("indptr", "indices"):
+            arr = np.ascontiguousarray(getattr(op, attr), dtype=INDEX_DTYPE)
+            h.update(attr.encode())
+            h.update(arr.shape[0].to_bytes(8, "little"))
+            h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def save_schedule(
+    path, schedule: FusedSchedule, *, fingerprint: str | None = None
+) -> Path:
+    """Serialize *schedule* to ``path`` (``.npz``).
+
+    The flattened representation stores every w-partition's vertices in
+    one array plus two offset tables (w-partition boundaries and
+    s-partition boundaries over w-partitions) — loading is O(nnz) with
+    no Python-loop parsing.
+    """
+    path = Path(path)
+    verts = []
+    w_offsets = [0]
+    s_offsets = [0]
+    for wlist in schedule.s_partitions:
+        for w in wlist:
+            verts.append(np.asarray(w, dtype=INDEX_DTYPE))
+            w_offsets.append(w_offsets[-1] + w.shape[0])
+        s_offsets.append(s_offsets[-1] + len(wlist))
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "packing": schedule.packing,
+        "fusion": bool(schedule.fusion),
+        "fingerprint": fingerprint,
+        "meta": {k: v for k, v in schedule.meta.items() if _jsonable(v)},
+    }
+    np.savez_compressed(
+        path,
+        vertices=(
+            np.concatenate(verts) if verts else np.empty(0, dtype=INDEX_DTYPE)
+        ),
+        w_offsets=np.asarray(w_offsets, dtype=INDEX_DTYPE),
+        s_offsets=np.asarray(s_offsets, dtype=INDEX_DTYPE),
+        loop_counts=np.asarray(schedule.loop_counts, dtype=INDEX_DTYPE),
+        meta_json=np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_schedule(path, *, expect_fingerprint: str | None = None) -> FusedSchedule:
+    """Load a schedule saved by :func:`save_schedule`.
+
+    When *expect_fingerprint* is given (compute it from the current
+    operands with :func:`pattern_fingerprint`), a mismatch against the
+    stored fingerprint raises :class:`ScheduleFormatError` — the operand
+    pattern changed and the schedule must be re-inspected.
+    """
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+            vertices = data["vertices"]
+            w_offsets = data["w_offsets"]
+            s_offsets = data["s_offsets"]
+            loop_counts = tuple(int(x) for x in data["loop_counts"])
+        except KeyError as exc:
+            raise ScheduleFormatError(f"missing field in {path}: {exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ScheduleFormatError(
+            f"unsupported schedule format {meta.get('format_version')!r}"
+        )
+    stored = meta.get("fingerprint")
+    if expect_fingerprint is not None and stored != expect_fingerprint:
+        raise ScheduleFormatError(
+            "operand pattern changed since this schedule was saved "
+            f"(stored {str(stored)[:12]}..., current "
+            f"{expect_fingerprint[:12]}...); re-run the inspector"
+        )
+    s_partitions: list[list[np.ndarray]] = []
+    for s in range(s_offsets.shape[0] - 1):
+        wlist = []
+        for w in range(int(s_offsets[s]), int(s_offsets[s + 1])):
+            wlist.append(vertices[int(w_offsets[w]) : int(w_offsets[w + 1])].copy())
+        s_partitions.append(wlist)
+    sched = FusedSchedule(
+        loop_counts,
+        s_partitions,
+        packing=meta.get("packing", "none"),
+        fusion=meta.get("fusion", True),
+        meta=dict(meta.get("meta", {})),
+    )
+    if stored is not None:
+        sched.meta["fingerprint"] = stored
+    return sched
+
+
+def _jsonable(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False

@@ -1,0 +1,23 @@
+"""End-to-end solvers built on fused kernels (example applications)."""
+
+from .gauss_seidel import (
+    GSResult,
+    build_gs_chain,
+    gauss_seidel,
+    gauss_seidel_simulated,
+    gs_iterations_to_converge,
+    gs_split,
+)
+
+__all__ = [
+    "GSResult",
+    "build_gs_chain",
+    "gauss_seidel",
+    "gauss_seidel_simulated",
+    "gs_iterations_to_converge",
+    "gs_split",
+]
+
+from .pcg import PCGResult, build_ic0_preconditioner, pcg_ic0
+
+__all__ += ["PCGResult", "build_ic0_preconditioner", "pcg_ic0"]

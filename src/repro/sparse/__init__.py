@@ -1,0 +1,73 @@
+"""Sparse matrix substrate: formats, generators, orderings, factorizations.
+
+Public surface:
+
+* :class:`CSRMatrix`, :class:`CSCMatrix` — the two storage formats used by
+  every kernel in the paper (Table 1 mixes CSR- and CSC-driven kernels),
+* :mod:`~repro.sparse.generators` — the synthetic SPD benchmark suite
+  (SuiteSparse stand-in),
+* :mod:`~repro.sparse.ordering` — RCM and nested dissection (METIS
+  stand-in),
+* :mod:`~repro.sparse.factor` — reference IC0/ILU0 factorizations,
+* :mod:`~repro.sparse.io` — Matrix Market reader/writer.
+"""
+
+from .analysis import MatrixStats, analyze_matrix, wavefront_profile
+from .base import INDEX_DTYPE, VALUE_DTYPE
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .factor import ic0_csc, ilu0_csr, split_lu_csr
+from .generators import (
+    SuiteMatrix,
+    arrow_spd,
+    banded_spd,
+    benchmark_suite,
+    chained_spd,
+    fe_3d_27pt,
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+    powerlaw_spd,
+    random_lower_triangular,
+    random_spd,
+    tridiagonal_spd,
+)
+from .io import read_matrix_market, write_matrix_market
+from .ordering import (
+    apply_ordering,
+    nested_dissection,
+    permute_symmetric,
+    reverse_cuthill_mckee,
+)
+
+__all__ = [
+    "INDEX_DTYPE",
+    "VALUE_DTYPE",
+    "MatrixStats",
+    "analyze_matrix",
+    "wavefront_profile",
+    "CSRMatrix",
+    "CSCMatrix",
+    "ic0_csc",
+    "ilu0_csr",
+    "split_lu_csr",
+    "SuiteMatrix",
+    "arrow_spd",
+    "banded_spd",
+    "benchmark_suite",
+    "chained_spd",
+    "fe_3d_27pt",
+    "laplacian_1d",
+    "laplacian_2d",
+    "laplacian_3d",
+    "powerlaw_spd",
+    "random_lower_triangular",
+    "random_spd",
+    "tridiagonal_spd",
+    "read_matrix_market",
+    "write_matrix_market",
+    "apply_ordering",
+    "nested_dissection",
+    "permute_symmetric",
+    "reverse_cuthill_mckee",
+]

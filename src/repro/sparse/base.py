@@ -1,0 +1,124 @@
+"""Shared validation helpers and conventions for sparse matrix storage.
+
+All sparse structures in :mod:`repro.sparse` follow the conventions set
+here so that kernels and schedulers can rely on them without re-checking:
+
+* index arrays (``indptr``, ``indices``) are C-contiguous ``int64``,
+* value arrays (``data``) are C-contiguous ``float64``,
+* ``indptr`` is monotonically non-decreasing with ``indptr[0] == 0``,
+* column/row indices within each row/column are strictly increasing
+  (i.e. sorted and duplicate-free).
+
+The paper's kernels (SpTRSV, SpIC0, SpILU0, ...) index the diagonal as the
+first or last entry of a compressed row/column, which is only well-defined
+under the sorted-indices convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "INDEX_DTYPE",
+    "VALUE_DTYPE",
+    "as_index_array",
+    "as_value_array",
+    "check_compressed_axes",
+]
+
+INDEX_DTYPE = np.int64
+"""Dtype used for all structure (``indptr``/``indices``) arrays."""
+
+VALUE_DTYPE = np.float64
+"""Dtype used for all numerical value (``data``) arrays."""
+
+
+def as_index_array(values, *, name: str = "indices") -> np.ndarray:
+    """Return *values* as a C-contiguous ``int64`` array.
+
+    Raises ``TypeError`` for inputs that would silently truncate (floats
+    with fractional parts are rejected by numpy's ``casting='safe'`` path
+    we emulate here).
+    """
+    arr = np.asarray(values)
+    if arr.dtype.kind not in "iu":
+        if arr.dtype.kind == "f" and arr.size and not np.all(arr == np.floor(arr)):
+            raise TypeError(f"{name} must be integral, got fractional floats")
+        if arr.dtype.kind not in "f" and arr.size:
+            raise TypeError(f"{name} must be integral, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=INDEX_DTYPE)
+
+
+def as_value_array(values, *, name: str = "data") -> np.ndarray:
+    """Return *values* as a C-contiguous ``float64`` array."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "c":
+        raise TypeError(f"{name} must be real-valued, got complex")
+    return np.ascontiguousarray(arr, dtype=VALUE_DTYPE)
+
+
+def check_compressed_axes(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    n_compressed: int,
+    n_minor: int,
+    *,
+    require_sorted: bool = True,
+) -> None:
+    """Validate a compressed sparse structure (shared by CSR and CSC).
+
+    Parameters
+    ----------
+    indptr, indices, data:
+        The three arrays of the compressed format.
+    n_compressed:
+        Number of compressed entities (rows for CSR, columns for CSC).
+    n_minor:
+        Extent of the minor axis (columns for CSR, rows for CSC).
+    require_sorted:
+        When true (the default everywhere in this library), indices within
+        each compressed slice must be strictly increasing.
+
+    Raises
+    ------
+    ValueError
+        If any structural invariant is violated.
+    """
+    if indptr.ndim != 1 or indices.ndim != 1 or data.ndim != 1:
+        raise ValueError("indptr, indices and data must be 1-D arrays")
+    if indptr.shape[0] != n_compressed + 1:
+        raise ValueError(
+            f"indptr has length {indptr.shape[0]}, expected {n_compressed + 1}"
+        )
+    if indptr[0] != 0:
+        raise ValueError("indptr[0] must be 0")
+    if indices.shape[0] != data.shape[0]:
+        raise ValueError(
+            f"indices ({indices.shape[0]}) and data ({data.shape[0]}) lengths differ"
+        )
+    if indptr[-1] != indices.shape[0]:
+        raise ValueError(
+            f"indptr[-1] ({indptr[-1]}) must equal nnz ({indices.shape[0]})"
+        )
+    if np.any(np.diff(indptr) < 0):
+        raise ValueError("indptr must be non-decreasing")
+    if indices.size:
+        if indices.min() < 0 or indices.max() >= n_minor:
+            raise ValueError(
+                f"indices out of range [0, {n_minor}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        if require_sorted:
+            # Strictly-increasing within each slice <=> diff >= 1 except at
+            # slice boundaries. Vectorized check: positions where diff <= 0
+            # must coincide with slice starts.
+            diffs = np.diff(indices)
+            bad = np.nonzero(diffs <= 0)[0] + 1  # index of the offending entry
+            if bad.size:
+                starts = indptr[1:-1]  # first entry of each later slice
+                if not np.all(np.isin(bad, starts)):
+                    raise ValueError(
+                        "indices must be strictly increasing within each "
+                        "row/column (sorted, no duplicates)"
+                    )

@@ -1,0 +1,95 @@
+"""Matrix Market I/O.
+
+SuiteSparse distributes matrices in Matrix Market (``.mtx``) coordinate
+format; this module reads and writes that format so users can run the
+benchmarks on real SuiteSparse downloads when they have them, while the
+offline suite uses :mod:`repro.sparse.generators`.
+
+Only the subset of the format the benchmarks need is supported:
+``matrix coordinate real/integer/pattern general/symmetric``.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def _open_maybe_gz(path: Path, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into a :class:`CSRMatrix`.
+
+    Symmetric files are expanded to full storage (both triangles), which
+    is what every kernel in this library expects. ``pattern`` files get
+    all-ones values.
+    """
+    path = Path(path)
+    with _open_maybe_gz(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path} is not a Matrix Market file")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise ValueError(f"unsupported Matrix Market header: {header.strip()}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(t) for t in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        k = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if field != "pattern" else 1.0
+            k += 1
+        if k != nnz:
+            raise ValueError(f"expected {nnz} entries, read {k}")
+    if symmetry == "symmetric":
+        off = rows != cols
+        mirror_rows, mirror_cols, mirror_vals = cols[off], rows[off], vals[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+    return CSRMatrix.from_coo(n_rows, n_cols, rows, cols, vals)
+
+
+def write_matrix_market(path, a: CSRMatrix, *, symmetric: bool = False) -> None:
+    """Write *a* to a Matrix Market coordinate file.
+
+    With ``symmetric=True`` only the lower triangle is stored and the
+    header declares ``symmetric`` (the SuiteSparse convention for SPD
+    matrices); the matrix must actually be pattern-symmetric.
+    """
+    path = Path(path)
+    mat = a.lower_triangle() if symmetric else a
+    sym = "symmetric" if symmetric else "general"
+    with _open_maybe_gz(path, "w") as fh:
+        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        fh.write(f"% written by repro.sparse.io\n")
+        fh.write(f"{a.n_rows} {a.n_cols} {mat.nnz}\n")
+        for i in range(mat.n_rows):
+            cols, vals = mat.row(i)
+            for j, v in zip(cols, vals):
+                fh.write(f"{i + 1} {j + 1} {float(v)!r}\n")

@@ -1,0 +1,46 @@
+"""Shared vectorized array helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.base import INDEX_DTYPE
+
+__all__ = ["multi_range", "segment_sums"]
+
+
+def multi_range(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``range(starts[i], starts[i] + counts[i])``, vectorized.
+
+    The gather-index builder behind batched kernel execution and the
+    inspector's dataflow joins.
+    """
+    counts = np.asarray(counts)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    reps = np.repeat(np.arange(starts.shape[0], dtype=INDEX_DTYPE), counts)
+    offs = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.asarray(starts, dtype=INDEX_DTYPE)[reps] + offs
+
+
+def segment_sums(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Sum *values* in consecutive segments of the given lengths.
+
+    Zero-length segments yield 0.0 (``np.add.reduceat`` alone would
+    repeat the neighbouring segment's value there).
+    """
+    n = counts.shape[0]
+    out = np.zeros(n, dtype=values.dtype)
+    if values.shape[0] == 0 or n == 0:
+        return out
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    nonempty = counts > 0
+    # Reduce only at the starts of non-empty segments: consecutive
+    # non-empty starts bracket exactly one segment's elements (empty
+    # segments in between contribute nothing). Clipping out-of-range
+    # starts instead would split the final non-empty segment.
+    out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out

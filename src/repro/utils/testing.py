@@ -1,0 +1,25 @@
+"""Deterministic random-matrix helpers shared by tests and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.generators import random_lower_triangular, random_spd
+
+__all__ = ["rng_for", "random_spd_csr", "random_lower_csr"]
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """A deterministic generator for the given seed."""
+    return np.random.default_rng(seed)
+
+
+def random_spd_csr(n: int, density: float = 6.0, seed: int = 0) -> CSRMatrix:
+    """Random SPD matrix (strictly diagonally dominant)."""
+    return random_spd(n, density, seed=seed)
+
+
+def random_lower_csr(n: int, density: float = 4.0, seed: int = 0) -> CSRMatrix:
+    """Random lower-triangular matrix with a dominant diagonal."""
+    return random_lower_triangular(n, density, seed=seed)

@@ -1,0 +1,24 @@
+"""Wall-clock timing helper used by benchmarks and the inspector."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    __slots__ = ("start", "seconds")
+
+    def __init__(self):
+        self.start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self.start

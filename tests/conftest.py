@@ -1,0 +1,66 @@
+"""Shared fixtures: deterministic matrices and kernel combinations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    apply_ordering,
+    banded_spd,
+    laplacian_2d,
+    laplacian_3d,
+    random_spd,
+)
+
+
+@pytest.fixture(scope="session")
+def lap2d_small():
+    """Naturally-ordered 2-D Laplacian (8x8 grid, n=64)."""
+    return laplacian_2d(8)
+
+
+@pytest.fixture(scope="session")
+def lap2d_nd():
+    """ND-reordered 2-D Laplacian (12x12 grid, n=144) — the standard
+    schedulable test matrix (METIS-style branching elimination tree)."""
+    a, _ = apply_ordering(laplacian_2d(12), "nd")
+    return a
+
+
+@pytest.fixture(scope="session")
+def lap3d_nd():
+    """ND-reordered 3-D Laplacian (6^3 grid, n=216) — bone010 stand-in."""
+    a, _ = apply_ordering(laplacian_3d(6), "nd")
+    return a
+
+
+@pytest.fixture(scope="session")
+def band_small():
+    """Banded SPD (n=200, bw=4): deep, narrow dependence DAG."""
+    return banded_spd(200, 4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def rand_spd_nd():
+    """ND-reordered random SPD (n=300): wide, shallow DAG."""
+    a, _ = apply_ordering(random_spd(300, 6.0, seed=11), "nd")
+    return a
+
+
+@pytest.fixture(scope="session")
+def matrix_zoo(lap2d_small, lap2d_nd, lap3d_nd, band_small, rand_spd_nd):
+    """All structural regimes in one list (name, matrix)."""
+    return [
+        ("lap2d_small", lap2d_small),
+        ("lap2d_nd", lap2d_nd),
+        ("lap3d_nd", lap3d_nd),
+        ("band_small", band_small),
+        ("rand_spd_nd", rand_spd_nd),
+    ]
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,110 @@
+"""CLI and profiling tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_matrix_spec
+from repro.runtime.profiling import format_profile, profile_schedule
+
+
+class TestMatrixSpec:
+    def test_generators(self):
+        assert parse_matrix_spec("lap2d:5").n_rows == 25
+        assert parse_matrix_spec("lap3d:3").n_rows == 27
+        assert parse_matrix_spec("band:50,3").n_rows == 50
+        assert parse_matrix_spec("rand:40,5").n_rows == 40
+        assert parse_matrix_spec("pow:40").n_rows == 40
+        assert parse_matrix_spec("arrow:30").n_rows == 30
+
+    def test_mtx_path(self, tmp_path, lap2d_small):
+        from repro.sparse import write_matrix_market
+
+        p = tmp_path / "m.mtx"
+        write_matrix_market(p, lap2d_small)
+        back = parse_matrix_spec(str(p))
+        assert back.allclose(lap2d_small)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--matrix", "lap2d:8"]) == 0
+        out = capsys.readouterr().out
+        assert "wavefronts" in out and "n=64" in out
+
+    def test_fuse_and_save(self, tmp_path, capsys):
+        p = tmp_path / "s.npz"
+        rc = main(
+            ["fuse", "--matrix", "lap2d:8", "--combo", "1", "--save", str(p)]
+        )
+        assert rc == 0
+        assert p.exists()
+        out = capsys.readouterr().out
+        assert "reuse ratio" in out and "s-partitions" in out
+        # saved schedule loads and verifies against the right fingerprint
+        from repro.fusion import build_combination
+        from repro.schedule import load_schedule, pattern_fingerprint
+        from repro.sparse import apply_ordering
+
+        a, _ = apply_ordering(parse_matrix_spec("lap2d:8"), "nd")
+        kernels, _ = build_combination(1, a)
+        fp = pattern_fingerprint(*(k.intra_dag() for k in kernels))
+        load_schedule(p, expect_fingerprint=fp)
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--matrix", "lap2d:8", "--combo", "3", "--threads", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sparse-fusion" in out and "mkl" in out
+
+    def test_gs(self, capsys):
+        rc = main(
+            ["gs", "--matrix", "lap2d:8", "--unroll", "2", "--tol", "1e-6"]
+        )
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_natural_ordering_flag(self, capsys):
+        assert main(["info", "--matrix", "lap2d:6", "--ordering", "natural"]) == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_combo_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fuse", "--combo", "9"])
+
+
+class TestProfiling:
+    def test_profile_fields(self, lap2d_nd):
+        from repro import fuse
+        from repro.fusion import build_combination
+
+        kernels, _ = build_combination(1, lap2d_nd)
+        fl = fuse(kernels, 4)
+        prof = profile_schedule(fl.schedule, kernels)
+        assert prof.n_vertices == 2 * lap2d_nd.n_rows
+        assert prof.n_barriers == prof.n_spartitions - 1
+        assert prof.parallelism_bound >= 1.0
+        assert prof.span <= prof.total_cost
+        assert all(im >= 1.0 for im in prof.imbalance)
+
+    def test_format_contains_key_lines(self, lap2d_nd):
+        from repro import fuse
+        from repro.fusion import build_combination
+
+        kernels, _ = build_combination(3, lap2d_nd)
+        fl = fuse(kernels, 4)
+        text = format_profile(profile_schedule(fl.schedule, kernels), name="x")
+        assert "s-partitions" in text and "parallelism bound" in text
+
+    def test_sequential_schedule_profile(self, lap2d_nd):
+        from repro.baselines import sequential_schedule
+        from repro.kernels import SpMVCSR
+
+        k = SpMVCSR(lap2d_nd)
+        prof = profile_schedule(sequential_schedule(k), [k])
+        assert prof.parallelism_bound == pytest.approx(1.0)
+        assert prof.mean_width == 1.0

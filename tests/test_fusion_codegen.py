@@ -1,0 +1,97 @@
+"""Fused-code generation tests (Sec. 2.3's two executor variants)."""
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.fusion import (
+    CodegenUnsupported,
+    build_combination,
+    generate_source,
+    make_fused_executor,
+)
+from repro.kernels import SpMVCSR, SpTRSVCSR, internal_var
+from repro.runtime import execute_schedule
+
+
+CODEGEN_COMBOS = (1, 3)  # TRSV-TRSV and TRSV-MV have body templates
+
+
+@pytest.mark.parametrize("cid", CODEGEN_COMBOS)
+@pytest.mark.parametrize("scheduler", ("ico", "joint-wavefront"))
+def test_generated_equals_generic(cid, scheduler, lap2d_nd):
+    kernels, state = build_combination(cid, lap2d_nd, seed=cid)
+    fl = fuse(kernels, 6, scheduler=scheduler)
+    run = make_fused_executor(fl.schedule, kernels)
+    st1 = {k: v.copy() for k, v in state.items()}
+    st2 = {k: v.copy() for k, v in state.items()}
+    execute_schedule(fl.schedule, kernels, st1)
+    run(st2)
+    for var in st1:
+        assert np.array_equal(st1[var], st2[var]), (cid, scheduler, var)
+
+
+def test_both_variants_emitted(lap2d_nd):
+    kernels, _ = build_combination(1, lap2d_nd)
+    inter = fuse(kernels, 4, reuse_ratio=1.5)
+    sep = fuse(kernels, 4, reuse_ratio=0.5)
+    src_inter = generate_source(inter.schedule, kernels)
+    src_sep = generate_source(sep.schedule, kernels)
+    # interleaved dispatches per vertex (Fig. 3c), separated per run (3b)
+    assert "for loop_id, i in wpart" in src_inter
+    assert "for loop_id, iters in wpart" in src_sep
+    assert "for i in iters" in src_sep
+
+
+def test_factorization_kernels_unsupported(lap2d_nd):
+    kernels, _ = build_combination(4, lap2d_nd)  # SpIC0 needs scratch
+    fl = fuse(kernels, 4)
+    with pytest.raises(CodegenUnsupported):
+        make_fused_executor(fl.schedule, kernels)
+
+
+def test_gs_chain_codegen(lap2d_nd, rng):
+    """The unrolled GS chain (SpMV + TRSV alternation) code-generates."""
+    from repro.solvers import build_gs_chain
+    from repro.solvers.gauss_seidel import gs_split
+    from repro.runtime import allocate_state
+
+    kernels, xi, xo = build_gs_chain(lap2d_nd, 2)
+    fl = fuse(kernels, 6, validate=False)
+    run = make_fused_executor(fl.schedule, kernels)
+    low, e = gs_split(lap2d_nd)
+    st = allocate_state(kernels)
+    st["Lx"][:] = low.data
+    st["Ex"][:] = e.data
+    st["b"][:] = rng.random(lap2d_nd.n_rows)
+    ref = {k: v.copy() for k, v in st.items()}
+    execute_schedule(fl.schedule, kernels, ref)
+    run(st)
+    assert np.array_equal(st[xo], ref[xo])
+
+
+def test_generated_source_is_inspectable(lap2d_nd):
+    kernels, _ = build_combination(3, lap2d_nd)
+    fl = fuse(kernels, 4)
+    run = make_fused_executor(fl.schedule, kernels)
+    assert "def fused_executor" in run.source
+    assert "np.dot" in run.source
+
+
+def test_backward_trsv_codegen(lap2d_nd, rng):
+    from repro.kernels import SpTRSVBackwardCSR
+    from repro.sparse import ic0_csc
+    from repro.runtime import allocate_state
+
+    l_factor = ic0_csc(lap2d_nd).to_csr()
+    fwd = SpTRSVCSR(l_factor, l_var="Lx", b_var="r", x_var="w")
+    bwd = SpTRSVBackwardCSR(l_factor, l_var="Lx", b_var="w", x_var="z")
+    fl = fuse([fwd, bwd], 4)
+    run = make_fused_executor(fl.schedule, fl.kernels)
+    st = allocate_state(fl.kernels)
+    st["Lx"][:] = l_factor.data
+    st["r"][:] = rng.random(lap2d_nd.n_rows)
+    ref = {k: v.copy() for k, v in st.items()}
+    execute_schedule(fl.schedule, fl.kernels, ref)
+    run(st)
+    assert np.array_equal(st["z"], ref["z"])

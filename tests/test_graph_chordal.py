@@ -1,0 +1,70 @@
+"""Tests for the elimination-game chordalization pass."""
+
+import numpy as np
+import pytest
+
+from repro.graph import ChordalizationError, DAG, chordalize
+from repro.sparse import laplacian_2d, tridiagonal_spd
+
+
+def test_chain_is_fixed_point():
+    g = DAG.from_lower_triangular(tridiagonal_spd(15).lower_triangle())
+    c = chordalize(g)
+    assert c.n_edges == g.n_edges
+
+
+def test_preserves_original_edges(lap2d_small):
+    g = DAG.from_lower_triangular(lap2d_small.lower_triangle())
+    c = chordalize(g, max_fill_factor=100)
+    orig = set(map(tuple, g.edge_list().tolist()))
+    new = set(map(tuple, c.edge_list().tolist()))
+    assert orig <= new
+
+
+def test_matches_cholesky_fill(lap2d_small):
+    """The closure must equal the symbolic Cholesky factor pattern."""
+    g = DAG.from_lower_triangular(lap2d_small.lower_triangle())
+    c = chordalize(g, max_fill_factor=100)
+    dense = np.linalg.cholesky(lap2d_small.to_dense())
+    chol_edges = {
+        (j, i)
+        for i in range(dense.shape[0])
+        for j in range(i)
+        if abs(dense[i, j]) > 1e-12
+    }
+    got = set(map(tuple, c.edge_list().tolist()))
+    # numerical cancellation can make chol entries spuriously zero, but
+    # every numeric nonzero must be in the symbolic closure
+    assert chol_edges <= got
+
+
+def test_closure_property():
+    """After chordalization: v's successors, minus the smallest, are all
+    successors of the smallest (the L-factor row-subset property)."""
+    g = DAG.from_lower_triangular(laplacian_2d(6).lower_triangle())
+    c = chordalize(g, max_fill_factor=100)
+    for v in range(c.n):
+        succ = c.successors(v)
+        if succ.shape[0] >= 2:
+            p = int(succ[0])
+            rest = set(succ[1:].tolist())
+            assert rest <= set(c.successors(p).tolist()), v
+
+
+def test_fill_cap_raises():
+    g = DAG.from_lower_triangular(laplacian_2d(10).lower_triangle())
+    with pytest.raises(ChordalizationError):
+        chordalize(g, max_fill_factor=1.0001)
+
+
+def test_requires_natural_order():
+    g = DAG.from_edges(3, [(2, 0)])
+    with pytest.raises(ValueError, match="naturally ordered"):
+        chordalize(g)
+
+
+def test_idempotent(lap2d_small):
+    g = DAG.from_lower_triangular(lap2d_small.lower_triangle())
+    c1 = chordalize(g, max_fill_factor=100)
+    c2 = chordalize(c1, max_fill_factor=100)
+    assert c1.n_edges == c2.n_edges

@@ -1,0 +1,156 @@
+"""Tests for the DAG type: levels, heights, slack, orders, subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DAG
+from repro.sparse import laplacian_2d, tridiagonal_spd
+
+
+def diamond():
+    """0 -> {1, 2} -> 3."""
+    return DAG.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_edges_dedups(self):
+        g = DAG.from_edges(3, [(0, 1), (0, 1), (1, 2)])
+        assert g.n_edges == 2
+
+    def test_empty(self):
+        g = DAG.empty(5)
+        assert g.n_edges == 0 and not g.has_edges
+        assert g.n_wavefronts == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            DAG(2, [0, 1, 1], [0], None)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DAG(2, [0, 1, 1], [5], None)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            DAG.from_edges(3, [(0, 1)], weights=[1.0, 2.0])
+
+    def test_from_lower_triangular_csr(self, lap2d_small):
+        low = lap2d_small.lower_triangle()
+        g = DAG.from_lower_triangular(low)
+        assert g.n == low.n_rows
+        assert g.n_edges == low.nnz - low.n_rows  # strict lower entries
+        # weights default to row nnz
+        assert np.array_equal(g.weights, low.row_nnz().astype(float))
+
+    def test_from_lower_triangular_csc_matches_csr(self, lap2d_small):
+        low = lap2d_small.lower_triangle()
+        g1 = DAG.from_lower_triangular(low)
+        g2 = DAG.from_lower_triangular(low.to_csc())
+        assert np.array_equal(g1.indptr, g2.indptr)
+        assert np.array_equal(g1.indices, g2.indices)
+
+    def test_from_lower_rejects_rectangular(self):
+        from repro.sparse import CSRMatrix
+
+        with pytest.raises(ValueError, match="square"):
+            DAG.from_lower_triangular(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestOrders:
+    def test_natural_order_detection(self, lap2d_small):
+        g = DAG.from_lower_triangular(lap2d_small.lower_triangle())
+        assert g.is_naturally_ordered()
+        assert np.array_equal(g.topological_order(), np.arange(g.n))
+
+    def test_kahn_on_reversed_ids(self):
+        g = DAG.from_edges(3, [(2, 0), (0, 1)])
+        assert not g.is_naturally_ordered()
+        topo = g.topological_order()
+        pos = {int(v): i for i, v in enumerate(topo)}
+        assert pos[2] < pos[0] < pos[1]
+
+    def test_cycle_detection(self):
+        g = DAG(3, [0, 1, 2, 3], [1, 2, 0], None, check=False)
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+
+    def test_predecessors_inverse_of_successors(self, lap2d_small):
+        g = DAG.from_lower_triangular(lap2d_small.lower_triangle())
+        for v in range(0, g.n, 7):
+            for s in g.successors(v):
+                assert v in g.predecessors(int(s))
+
+    def test_degrees(self):
+        g = diamond()
+        assert g.out_degrees().tolist() == [2, 1, 1, 0]
+        assert g.in_degrees().tolist() == [0, 1, 1, 2]
+
+
+class TestLevels:
+    def test_diamond_levels(self):
+        g = diamond()
+        assert g.levels().tolist() == [0, 1, 1, 2]
+        assert g.heights().tolist() == [2, 1, 1, 0]
+        assert g.n_wavefronts == 3
+
+    def test_edges_increase_levels(self, matrix_zoo):
+        for name, mat in matrix_zoo:
+            g = DAG.from_lower_triangular(mat.lower_triangle())
+            lv, h = g.levels(), g.heights()
+            for u, v in g.edge_list():
+                assert lv[v] > lv[u], name
+                assert h[u] > h[v], name
+
+    def test_chain_levels(self):
+        t = tridiagonal_spd(10).lower_triangle()
+        g = DAG.from_lower_triangular(t)
+        assert g.n_wavefronts == 10
+        assert np.array_equal(g.levels(), np.arange(10))
+
+    def test_wavefronts_partition_vertices(self, lap2d_nd):
+        g = DAG.from_lower_triangular(lap2d_nd.lower_triangle())
+        wf = g.wavefronts()
+        seen = np.concatenate(wf)
+        assert sorted(seen.tolist()) == list(range(g.n))
+        lv = g.levels()
+        for i, w in enumerate(wf):
+            assert np.all(lv[w] == i)
+
+    def test_slack_nonnegative_and_zero_on_critical_path(self, matrix_zoo):
+        for name, mat in matrix_zoo:
+            g = DAG.from_lower_triangular(mat.lower_triangle())
+            sn = g.slack_numbers()
+            assert np.all(sn >= 0), name
+            # some vertex achieves the critical path => slack 0 exists
+            assert np.any(sn == 0), name
+
+    def test_slack_of_diamond(self):
+        g = DAG.from_edges(4, [(0, 1), (1, 3), (0, 2)])
+        # 2 hangs off the chain 0-1-3: it can run in wavefront 1 or 2
+        assert g.slack_numbers().tolist() == [0, 0, 1, 0]
+
+    def test_empty_dag_levels(self):
+        g = DAG.empty(0)
+        assert g.n_wavefronts == 0
+        assert g.slack_numbers().shape == (0,)
+
+
+class TestTransforms:
+    def test_transpose_flips_edges(self):
+        g = diamond()
+        gt = g.transpose()
+        assert sorted(map(tuple, gt.edge_list().tolist())) == sorted(
+            [(1, 0), (2, 0), (3, 1), (3, 2)]
+        )
+
+    def test_induced_subgraph(self):
+        g = diamond()
+        sub, vmap = g.induced_subgraph(np.array([0, 1, 3]))
+        assert sub.n == 3
+        # edges 0->1 and 1->3 survive (2 is excluded)
+        assert sub.n_edges == 2
+
+    def test_to_networkx(self):
+        nx_g = diamond().to_networkx()
+        assert nx_g.number_of_nodes() == 4
+        assert nx_g.number_of_edges() == 4

@@ -1,0 +1,108 @@
+"""Backward (transpose) SpTRSV kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.kernels import SpTRSVBackwardCSR, SpTRSVCSR
+from repro.runtime import allocate_state
+from repro.schedule import validate_schedule
+from repro.sparse import ic0_csc, random_lower_triangular
+
+
+def run_all(kernel, state, order=None):
+    kernel.setup(state)
+    scratch = kernel.make_scratch()
+    for i in order if order is not None else range(kernel.n_iterations):
+        kernel.run_iteration(i, state, scratch)
+    return state
+
+
+@pytest.fixture
+def l_factor(lap2d_nd):
+    return ic0_csc(lap2d_nd).to_csr()
+
+
+def test_solves_transpose_system(l_factor, rng):
+    k = SpTRSVBackwardCSR(l_factor)
+    st = allocate_state([k])
+    st["Lx"][:] = l_factor.data
+    st["b"][:] = rng.random(l_factor.n_rows)
+    run_all(k, st)
+    assert np.allclose(l_factor.to_dense().T @ st["x"], st["b"], atol=1e-9)
+
+
+def test_reference_matches(l_factor, rng):
+    k = SpTRSVBackwardCSR(l_factor)
+    st = allocate_state([k])
+    st["Lx"][:] = l_factor.data
+    st["b"][:] = rng.random(l_factor.n_rows)
+    ref = {v: a.copy() for v, a in st.items()}
+    run_all(k, st)
+    k.run_reference(ref)
+    assert np.allclose(st["x"], ref["x"])
+
+
+def test_dag_is_naturally_ordered(l_factor):
+    g = SpTRSVBackwardCSR(l_factor).intra_dag()
+    assert g.is_naturally_ordered()
+    # edge count equals strict-lower entries (each L[i,j] is one dep)
+    assert g.n_edges == l_factor.nnz - l_factor.n_rows
+
+
+def test_wavefront_order_execution(l_factor, rng):
+    k = SpTRSVBackwardCSR(l_factor)
+    st = allocate_state([k])
+    st["Lx"][:] = l_factor.data
+    st["b"][:] = rng.random(l_factor.n_rows)
+    order = []
+    for wf in k.intra_dag().wavefronts():
+        order.extend(reversed(wf.tolist()))
+    run_all(k, st, order)
+    assert np.allclose(l_factor.to_dense().T @ st["x"], st["b"], atol=1e-9)
+
+
+def test_fused_forward_backward_solve(l_factor, lap2d_nd, rng):
+    """The PCG preconditioner pair: z = L^-T (L^-1 r), fused and valid."""
+    fwd = SpTRSVCSR(l_factor, l_var="Lx", b_var="r", x_var="w")
+    bwd = SpTRSVBackwardCSR(l_factor, l_var="Lx", b_var="w", x_var="z")
+    fl = fuse([fwd, bwd], 6)
+    validate_schedule(fl.schedule, fl.dags, fl.inter)
+    st = fl.allocate_state()
+    st["Lx"][:] = l_factor.data
+    st["r"][:] = rng.random(l_factor.n_rows)
+    fl.execute(st)
+    ld = l_factor.to_dense()
+    expect = np.linalg.solve(ld.T, np.linalg.solve(ld, st["r"]))
+    assert np.allclose(st["z"], expect, atol=1e-8)
+
+
+def test_threaded_execution(l_factor, rng):
+    from repro.runtime import ThreadedExecutor
+
+    fwd = SpTRSVCSR(l_factor, l_var="Lx", b_var="r", x_var="w")
+    bwd = SpTRSVBackwardCSR(l_factor, l_var="Lx", b_var="w", x_var="z")
+    fl = fuse([fwd, bwd], 4)
+    st = fl.allocate_state()
+    st["Lx"][:] = l_factor.data
+    st["r"][:] = rng.random(l_factor.n_rows)
+    ref = {v: a.copy() for v, a in st.items()}
+    fl.execute(ref)
+    ThreadedExecutor(4).execute(fl.schedule, fl.kernels, st)
+    assert np.allclose(st["z"], ref["z"])
+
+
+def test_rejects_non_lower(lap2d_nd):
+    with pytest.raises(ValueError, match="lower-triangular"):
+        SpTRSVBackwardCSR(lap2d_nd)
+
+
+@pytest.mark.parametrize("seed", [0, 4])
+def test_random_lower(seed, rng):
+    low = random_lower_triangular(60, 4.0, seed=seed)
+    k = SpTRSVBackwardCSR(low)
+    st = allocate_state([k])
+    st["Lx"][:] = low.data
+    st["b"][:] = rng.random(60)
+    run_all(k, st)
+    assert np.allclose(low.to_dense().T @ st["x"], st["b"], atol=1e-8)

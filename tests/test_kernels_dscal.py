@@ -1,0 +1,101 @@
+"""DSCAL kernel tests (CSR and CSC variants)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import DScalCSC, DScalCSR
+from repro.runtime import allocate_state
+from repro.sparse import CSRMatrix
+
+
+def run_all(kernel, state):
+    kernel.setup(state)
+    scratch = kernel.make_scratch()
+    for i in range(kernel.n_iterations):
+        kernel.run_iteration(i, state, scratch)
+    return state
+
+
+def expected_dad(a):
+    d = np.diag(1.0 / np.sqrt(np.diag(a.to_dense())))
+    return d @ a.to_dense() @ d
+
+
+class TestCSR:
+    def test_matches_dense(self, lap2d_nd):
+        k = DScalCSR(lap2d_nd)
+        st = allocate_state([k])
+        st["Ax"][:] = lap2d_nd.data
+        run_all(k, st)
+        got = CSRMatrix(
+            lap2d_nd.n_rows,
+            lap2d_nd.n_cols,
+            lap2d_nd.indptr,
+            lap2d_nd.indices,
+            st["Sx"],
+            check=False,
+        ).to_dense()
+        assert np.allclose(got, expected_dad(lap2d_nd))
+
+    def test_unit_diagonal_after_scaling(self, rand_spd_nd):
+        k = DScalCSR(rand_spd_nd)
+        st = allocate_state([k])
+        st["Ax"][:] = rand_spd_nd.data
+        run_all(k, st)
+        diag = st["Sx"][rand_spd_nd.diagonal_positions()]
+        assert np.allclose(diag, 1.0)
+
+    def test_reference_matches(self, lap2d_nd):
+        k = DScalCSR(lap2d_nd)
+        st = allocate_state([k])
+        st["Ax"][:] = lap2d_nd.data
+        ref = {v: a.copy() for v, a in st.items()}
+        run_all(k, st)
+        k.run_reference(ref)
+        assert np.allclose(st["Sx"], ref["Sx"])
+
+    def test_parallel_dag(self, lap2d_nd):
+        assert not DScalCSR(lap2d_nd).intra_dag().has_edges
+
+    def test_reads_include_diagonals(self, lap2d_nd):
+        k = DScalCSR(lap2d_nd)
+        i = 10
+        reads = set(k.reads_of("Ax", i).tolist())
+        cols, _ = lap2d_nd.row(i)
+        for c in cols:
+            assert int(lap2d_nd.diagonal_positions()[c]) in reads
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            DScalCSR(CSRMatrix.from_dense(np.ones((2, 3))))
+
+
+class TestCSC:
+    def test_matches_lower_of_dad(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        k = DScalCSC(low)
+        st = allocate_state([k])
+        st["Alow"][:] = low.data
+        run_all(k, st)
+        got = type(low)(
+            low.n_rows, low.n_cols, low.indptr, low.indices, st["Slow"], check=False
+        ).to_dense()
+        assert np.allclose(got, np.tril(expected_dad(lap2d_nd)))
+
+    def test_reference_matches(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        k = DScalCSC(low)
+        st = allocate_state([k])
+        st["Alow"][:] = low.data
+        ref = {v: a.copy() for v, a in st.items()}
+        run_all(k, st)
+        k.run_reference(ref)
+        assert np.allclose(st["Slow"], ref["Slow"])
+
+    def test_rejects_non_lower(self, lap2d_nd):
+        with pytest.raises(ValueError, match="lower-triangular"):
+            DScalCSC(lap2d_nd.to_csc())
+
+    def test_flops_positive(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        assert DScalCSC(low).flop_count() > 0

@@ -1,0 +1,142 @@
+"""SpIC0 / SpILU0 kernel tests: bitwise agreement with golden references
+and topological-order independence."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import SpIC0, SpILU0
+from repro.runtime import allocate_state
+from repro.sparse import CSRMatrix, ic0_csc, ilu0_csr
+
+
+def run_all(kernel, state, order=None):
+    kernel.setup(state)
+    scratch = kernel.make_scratch()
+    for i in order if order is not None else range(kernel.n_iterations):
+        kernel.run_iteration(i, state, scratch)
+    return state
+
+
+class TestSpIC0:
+    def test_bitwise_vs_reference(self, matrix_zoo):
+        for name, mat in matrix_zoo:
+            low = mat.lower_triangle().to_csc()
+            k = SpIC0(low)
+            st = allocate_state([k])
+            st["Alow"][:] = low.data
+            run_all(k, st)
+            assert np.array_equal(st["Lx"], ic0_csc(mat).data), name
+
+    def test_run_reference_path(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        k = SpIC0(low)
+        st = allocate_state([k])
+        st["Alow"][:] = low.data
+        k.run_reference(st)
+        assert np.array_equal(st["Lx"], ic0_csc(lap2d_nd).data)
+
+    def test_wavefront_order_gives_same_factor(self, lap3d_nd):
+        low = lap3d_nd.lower_triangle().to_csc()
+        k = SpIC0(low)
+        st = allocate_state([k])
+        st["Alow"][:] = low.data
+        order = []
+        for wf in k.intra_dag().wavefronts():
+            order.extend(reversed(wf.tolist()))
+        run_all(k, st, order)
+        assert np.array_equal(st["Lx"], ic0_csc(lap3d_nd).data)
+
+    def test_scratch_left_clean(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        k = SpIC0(low)
+        st = allocate_state([k])
+        st["Alow"][:] = low.data
+        scratch = k.make_scratch()
+        for i in range(k.n_iterations):
+            k.run_iteration(i, st, scratch)
+            assert np.all(scratch == 0.0), f"dirty scratch after iter {i}"
+
+    def test_breakdown_raises(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        low = a.lower_triangle().to_csc()
+        k = SpIC0(low)
+        st = allocate_state([k])
+        st["Alow"][:] = low.data
+        with pytest.raises(ValueError, match="breakdown"):
+            run_all(k, st)
+
+    def test_rejects_non_lower_pattern(self, lap2d_nd):
+        with pytest.raises(ValueError, match="lower-triangular"):
+            SpIC0(lap2d_nd.to_csc())
+
+    def test_costs_reflect_update_work(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        k = SpIC0(low)
+        c = k.iteration_costs()
+        assert np.all(c >= low.col_nnz())
+        assert k.flop_count() > 0
+
+    def test_dag_weights_are_costs(self, lap2d_nd):
+        low = lap2d_nd.lower_triangle().to_csc()
+        k = SpIC0(low)
+        assert np.array_equal(k.intra_dag().weights, k.iteration_costs())
+
+
+class TestSpILU0:
+    def test_bitwise_vs_reference(self, matrix_zoo):
+        for name, mat in matrix_zoo:
+            k = SpILU0(mat)
+            st = allocate_state([k])
+            st["Ax"][:] = mat.data
+            run_all(k, st)
+            assert np.array_equal(st["LUx"], ilu0_csr(mat).data), name
+
+    def test_run_reference_path(self, band_small):
+        k = SpILU0(band_small)
+        st = allocate_state([k])
+        st["Ax"][:] = band_small.data
+        k.run_reference(st)
+        assert np.array_equal(st["LUx"], ilu0_csr(band_small).data)
+
+    def test_wavefront_order_gives_same_factor(self, lap3d_nd):
+        k = SpILU0(lap3d_nd)
+        st = allocate_state([k])
+        st["Ax"][:] = lap3d_nd.data
+        order = []
+        for wf in k.intra_dag().wavefronts():
+            order.extend(reversed(wf.tolist()))
+        run_all(k, st, order)
+        assert np.array_equal(st["LUx"], ilu0_csr(lap3d_nd).data)
+
+    def test_scratch_left_clean(self, lap2d_nd):
+        k = SpILU0(lap2d_nd)
+        st = allocate_state([k])
+        st["Ax"][:] = lap2d_nd.data
+        scratch = k.make_scratch()
+        for i in range(k.n_iterations):
+            k.run_iteration(i, st, scratch)
+            assert np.all(scratch == 0.0)
+
+    def test_zero_pivot_raises(self):
+        d = np.array([[1.0, 1.0], [1.0, 1.0]])
+        a = CSRMatrix.from_dense(d)
+        a.data[a.diagonal_positions()[0]] = 0.0
+        k = SpILU0(a)
+        st = allocate_state([k])
+        st["Ax"][:] = a.data
+        with pytest.raises(ValueError, match="pivot"):
+            run_all(k, st)
+
+    def test_rejects_rectangular(self):
+        a = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            SpILU0(a)
+
+    def test_does_not_read_own_row_initial_twice(self, lap2d_nd):
+        """Iteration i reads only the initial row i of a_var — the
+        property that makes F diagonal for DSCAL->ILU0 (combo 2)."""
+        k = SpILU0(lap2d_nd)
+        for i in (0, 7, 50):
+            reads = k.reads_of("Ax", i)
+            lo, hi = lap2d_nd.indptr[i], lap2d_nd.indptr[i + 1]
+            assert np.array_equal(reads, np.arange(lo, hi))

@@ -1,0 +1,144 @@
+"""Simulated-machine tests: the cost model must price synchronization,
+load balance, and locality the way the paper's analysis expects."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import build_combination
+from repro.graph import DAG
+from repro.kernels import SpMVCSR
+from repro.runtime import (
+    MachineConfig,
+    SimulatedMachine,
+    gflops,
+    potential_gain,
+)
+from repro.schedule import FusedSchedule, lbc_schedule, wavefront_schedule
+from repro.baselines import sequential_schedule
+
+
+def spmv_sched(mat, sparts):
+    return FusedSchedule(
+        (mat.n_rows,),
+        [[np.asarray(w, dtype=np.int64) for w in s] for s in sparts],
+    )
+
+
+class TestCostModel:
+    def test_barriers_cost(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        n = lap2d_nd.n_rows
+        cfg = MachineConfig(n_threads=4, barrier_cycles=10_000)
+        one = spmv_sched(lap2d_nd, [[[*range(n)]]])
+        many = spmv_sched(
+            lap2d_nd, [[[i]] for i in range(n)]
+        )
+        m = SimulatedMachine(cfg)
+        t_one = m.simulate(one, [k]).total_cycles
+        t_many = m.simulate(many, [k]).total_cycles
+        assert t_many > t_one
+        assert t_many - t_one == pytest.approx(
+            (n - 1) * cfg.barrier_cycles, rel=0.01
+        )
+
+    def test_parallelism_helps(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        n = lap2d_nd.n_rows
+        cfg = MachineConfig(n_threads=4, barrier_cycles=0.0)
+        seq = spmv_sched(lap2d_nd, [[[*range(n)]]])
+        par = spmv_sched(
+            lap2d_nd,
+            [[[*range(0, n, 4)], [*range(1, n, 4)], [*range(2, n, 4)], [*range(3, n, 4)]]],
+        )
+        m = SimulatedMachine(cfg)
+        assert m.simulate(par, [k]).total_cycles < 0.5 * m.simulate(seq, [k]).total_cycles
+
+    def test_imbalance_penalized(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        n = lap2d_nd.n_rows
+        cfg = MachineConfig(n_threads=2, barrier_cycles=0.0)
+        balanced = spmv_sched(lap2d_nd, [[[*range(0, n, 2)], [*range(1, n, 2)]]])
+        skewed = spmv_sched(lap2d_nd, [[[*range(n - 4)], [*range(n - 4, n)]]])
+        m = SimulatedMachine(cfg)
+        rb = m.simulate(balanced, [k])
+        rs = m.simulate(skewed, [k])
+        assert rs.total_cycles > rb.total_cycles
+        assert rs.wait_cycles > rb.wait_cycles
+
+    def test_efficiency_scales_compute(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        sched = sequential_schedule(k)
+        cfg = MachineConfig(n_threads=1, barrier_cycles=0.0)
+        m = SimulatedMachine(cfg)
+        full = m.simulate(sched, [k], efficiency=1.0).total_cycles
+        half = m.simulate(sched, [k], efficiency=0.5).total_cycles
+        assert half == pytest.approx(0.5 * full)
+
+    def test_sequential_override_serializes(self, lap2d_nd):
+        kernels, _ = build_combination(5, lap2d_nd)  # ILU0 + TRSV
+        from repro.baselines import mkl_like_schedule
+
+        sched = mkl_like_schedule(kernels, 4)
+        cfg = MachineConfig(n_threads=4)
+        m = SimulatedMachine(cfg)
+        base = m.simulate(sched, kernels).total_cycles
+        seq = m.simulate(
+            sched, kernels, sequential_override={0}
+        ).total_cycles
+        assert seq >= base  # serializing can only slow it down
+
+
+class TestCacheFidelity:
+    def test_interleaved_beats_separated_on_shared_data(self, lap3d_nd):
+        """Combo 1 (reuse >= 1): interleaved packing must show lower
+        simulated memory latency than separated — Fig. 6's effect."""
+        from repro import fuse
+
+        kernels, _ = build_combination(1, lap3d_nd)
+        cfg = MachineConfig(n_threads=8)
+        m = SimulatedMachine(cfg)
+        inter = fuse(kernels, 8, reuse_ratio=1.5).schedule
+        sep = fuse(kernels, 8, reuse_ratio=0.5).schedule
+        r_inter = m.simulate(inter, kernels, fidelity="cache")
+        r_sep = m.simulate(sep, kernels, fidelity="cache")
+        assert r_inter.avg_memory_latency <= r_sep.avg_memory_latency * 1.05
+
+    def test_cache_stats_populated(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        sched = sequential_schedule(k)
+        rep = SimulatedMachine(MachineConfig(n_threads=1)).simulate(
+            sched, [k], fidelity="cache"
+        )
+        assert rep.cache_stats["accesses"] > 0
+        assert rep.avg_memory_latency > 0
+
+
+class TestMetrics:
+    def test_gflops_positive_and_inverse_to_time(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        cfg = MachineConfig(n_threads=2)
+        m = SimulatedMachine(cfg)
+        g = DAG.empty(lap2d_nd.n_rows)
+        fast = m.simulate(lbc_schedule(g, 2), [k])
+        slow = m.simulate(wavefront_schedule(k.intra_dag(), 1), [k])
+        assert gflops([k], fast) > 0
+        assert fast.seconds <= slow.seconds or gflops([k], fast) >= gflops([k], slow)
+
+    def test_potential_gain_higher_for_wavefront(self, lap3d_nd):
+        from repro.graph import DAG
+
+        g = DAG.from_lower_triangular(lap3d_nd.lower_triangle())
+        from repro.kernels import SpTRSVCSR
+
+        k = SpTRSVCSR(lap3d_nd.lower_triangle())
+        cfg = MachineConfig(n_threads=8)
+        m = SimulatedMachine(cfg)
+        wf = m.simulate(wavefront_schedule(g, 8), [k])
+        lbc = m.simulate(lbc_schedule(g, 8), [k])
+        assert potential_gain(wf, cfg) > potential_gain(lbc, cfg)
+
+    def test_report_seconds_consistent(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        cfg = MachineConfig(n_threads=1, clock_ghz=2.5)
+        rep = SimulatedMachine(cfg).simulate(sequential_schedule(k), [k])
+        assert rep.seconds == pytest.approx(rep.total_cycles / 2.5e9)

@@ -1,0 +1,60 @@
+"""Chrome-trace export tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.fusion import build_combination
+from repro.runtime import MachineConfig
+from repro.runtime.trace import export_chrome_trace
+
+
+@pytest.fixture
+def fused(lap2d_nd):
+    kernels, _ = build_combination(4, lap2d_nd)
+    return fuse(kernels, 4), kernels
+
+
+def test_trace_structure(tmp_path, fused):
+    fl, kernels = fused
+    p = export_chrome_trace(
+        tmp_path / "trace.json", fl.schedule, kernels, MachineConfig(n_threads=4)
+    )
+    data = json.loads(p.read_text())
+    events = data["traceEvents"]
+    assert events, "no events"
+    slices = [e for e in events if e["cat"] == "wpartition"]
+    barriers = [e for e in events if e["cat"] == "barrier"]
+    assert len(barriers) == fl.schedule.n_spartitions
+    assert len(slices) == sum(len(w) for w in fl.schedule.s_partitions)
+    # thread ids bounded by machine size
+    assert max(e["tid"] for e in slices) < 4
+    # every slice has a kernel mix annotation
+    assert all("kernels" in e["args"] for e in slices)
+
+
+def test_trace_timestamps_monotone_per_spartition(tmp_path, fused):
+    fl, kernels = fused
+    p = export_chrome_trace(tmp_path / "t.json", fl.schedule, kernels)
+    events = json.loads(p.read_text())["traceEvents"]
+    slices = sorted(
+        (e for e in events if e["cat"] == "wpartition"),
+        key=lambda e: e["args"]["s_partition"],
+    )
+    starts = [e["ts"] for e in slices]
+    sparts = [e["args"]["s_partition"] for e in slices]
+    for (t1, s1), (t2, s2) in zip(zip(starts, sparts), zip(starts[1:], sparts[1:])):
+        if s2 > s1:
+            assert t2 > t1
+
+
+def test_trace_iteration_totals(tmp_path, fused):
+    fl, kernels = fused
+    p = export_chrome_trace(tmp_path / "t.json", fl.schedule, kernels)
+    events = json.loads(p.read_text())["traceEvents"]
+    total = sum(
+        e["args"]["iterations"] for e in events if e["cat"] == "wpartition"
+    )
+    assert total == fl.schedule.n_vertices

@@ -1,0 +1,108 @@
+"""HDagg-style scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.fusion import build_combination
+from repro.graph import DAG
+from repro.kernels import internal_var
+from repro.schedule import (
+    hdagg_schedule,
+    lbc_schedule,
+    validate_schedule,
+    wavefront_schedule,
+)
+
+
+def dag_of(mat):
+    return DAG.from_lower_triangular(mat.lower_triangle())
+
+
+@pytest.mark.parametrize("r", [1, 4, 12])
+def test_valid_on_zoo(matrix_zoo, r):
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        s = hdagg_schedule(g, r)
+        validate_schedule(s, [g])
+        assert max(s.widths()) <= r, name
+
+
+def test_fewer_barriers_than_wavefront(matrix_zoo):
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        h = hdagg_schedule(g, 8)
+        w = wavefront_schedule(g, 8)
+        assert h.n_spartitions <= w.n_spartitions, name
+
+
+def test_chain_coarsened_by_cost_cap():
+    """A pure chain splits into ~r cap-sized rounds, not n levels."""
+    g = DAG.from_edges(64, [(i, i + 1) for i in range(63)])
+    s = hdagg_schedule(g, 4)
+    validate_schedule(s, [g])
+    assert 3 <= s.n_spartitions <= 6  # cap = total/4 -> about 4 rounds
+
+
+def test_parallel_loop_single_round():
+    g = DAG.empty(100)
+    s = hdagg_schedule(g, 8)
+    assert s.n_spartitions == 1
+    assert len(s.s_partitions[0]) == 8
+
+
+def test_groups_respect_cost_cap(lap3d_nd):
+    g = dag_of(lap3d_nd)
+    tol = 1.0
+    s = hdagg_schedule(g, 8, balance_tolerance=tol)
+    cap = max(tol * float(g.weights.sum()) / 8, float(g.weights.max()))
+    for pc in s.partition_costs(g.weights):
+        # bins may pack several groups; allow pack_components slack of 2x
+        assert pc.max() <= 2.5 * cap
+
+
+def test_balance_tolerance_tradeoff(band_small):
+    g = dag_of(band_small)
+    tight = hdagg_schedule(g, 8, balance_tolerance=0.5)
+    loose = hdagg_schedule(g, 8, balance_tolerance=4.0)
+    validate_schedule(tight, [g])
+    validate_schedule(loose, [g])
+    assert loose.n_spartitions <= tight.n_spartitions
+
+
+def test_rejects_bad_inputs(lap2d_nd):
+    with pytest.raises(ValueError, match="r must"):
+        hdagg_schedule(dag_of(lap2d_nd), 0)
+    with pytest.raises(ValueError, match="naturally ordered"):
+        hdagg_schedule(DAG.from_edges(3, [(2, 0)]), 4)
+
+
+def test_joint_hdagg_baseline_end_to_end(lap2d_nd):
+    """joint-hdagg works through fuse() and the executor."""
+    kernels, state = build_combination(4, lap2d_nd, seed=2)
+    fl = fuse(kernels, 6, scheduler="joint-hdagg")
+    fl.validate()
+    ref = {v: a.copy() for v, a in state.items()}
+    for k in kernels:
+        k.run_reference(ref)
+    fl.execute(state)
+    for var in ref:
+        if internal_var(var):
+            continue
+        out_vars = set()
+        for k in kernels:
+            out_vars.update(k.write_vars)
+        if var in out_vars:
+            assert np.allclose(state[var], ref[var], atol=1e-9), var
+
+
+def test_hdagg_competitive_with_lbc_on_barriers(matrix_zoo):
+    """HDagg's whole point: at least as few synchronizations as level
+    methods on most inputs."""
+    wins = 0
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        h = hdagg_schedule(g, 8)
+        l = lbc_schedule(g, 8)
+        wins += h.n_spartitions <= l.n_spartitions
+    assert wins >= 3

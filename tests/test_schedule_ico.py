@@ -1,0 +1,145 @@
+"""ICO scheduler tests across combination shapes and ablations."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DAG, InterDep
+from repro.schedule import (
+    concatenate_schedules,
+    ico_schedule,
+    lbc_schedule,
+    validate_schedule,
+)
+
+
+def dag_of(mat):
+    return DAG.from_lower_triangular(mat.lower_triangle())
+
+
+def combo_shapes(mat):
+    """(name, dags, inter) triples covering Table 1's dependence shapes."""
+    g = dag_of(mat)
+    g2 = dag_of(mat)
+    n = mat.n_rows
+    low = mat.lower_triangle()
+    return [
+        ("cd-cd-diag", [g, g2], {(0, 1): InterDep.identity(n)}),
+        ("cd-cd-pattern", [g, g2], {(0, 1): InterDep.from_csr_pattern(low)}),
+        ("cd-par", [g, DAG.empty(n)], {(0, 1): InterDep.identity(n)}),
+        ("par-cd", [DAG.empty(n), g2], {(0, 1): InterDep.identity(n)}),
+        ("par-par", [DAG.empty(n), DAG.empty(n)],
+         {(0, 1): InterDep.from_csr_pattern(mat)}),
+        ("no-deps", [g, DAG.empty(n)], {}),
+    ]
+
+
+@pytest.mark.parametrize("r", [1, 4, 12])
+@pytest.mark.parametrize("reuse", [0.5, 1.5])
+def test_ico_valid_on_all_shapes(matrix_zoo, r, reuse):
+    for mname, mat in matrix_zoo:
+        for sname, dags, inter in combo_shapes(mat):
+            s = ico_schedule(dags, inter, r, reuse)
+            validate_schedule(s, dags, inter)
+            assert max(s.widths()) <= max(r, 1), (mname, sname)
+
+
+def test_head_selection_follows_algorithm1(lap2d_nd):
+    g = dag_of(lap2d_nd)
+    n = lap2d_nd.n_rows
+    f = InterDep.identity(n)
+    # E2 > 0 -> head is loop 1
+    s = ico_schedule([DAG.empty(n), g], {(0, 1): f}, 4, 0.5)
+    assert s.meta["head"] == 1
+    # E2 == 0 -> head is loop 0
+    s = ico_schedule([g, DAG.empty(n)], {(0, 1): f}, 4, 0.5)
+    assert s.meta["head"] == 0
+
+
+def test_ico_fewer_barriers_than_unfused(matrix_zoo):
+    for name, mat in matrix_zoo:
+        g1, g2 = dag_of(mat), dag_of(mat)
+        f = InterDep.identity(mat.n_rows)
+        fused = ico_schedule([g1, g2], {(0, 1): f}, 8, 1.5)
+        unfused = concatenate_schedules(
+            [lbc_schedule(g1, 8), lbc_schedule(g2, 8)]
+        )
+        assert fused.n_spartitions <= unfused.n_spartitions, name
+
+
+def test_ico_balance_improves_spread(lap3d_nd):
+    g1 = dag_of(lap3d_nd)
+    g2 = DAG.empty(lap3d_nd.n_rows, g1.weights.copy())
+    f = InterDep.identity(lap3d_nd.n_rows)
+    costs = np.concatenate([g1.weights, g2.weights])
+
+    def spread(s):
+        worst = 0.0
+        for pc in s.partition_costs(costs):
+            if len(pc) > 1 and pc.sum() > 0:
+                worst = max(worst, float(pc.max() / max(pc.mean(), 1e-12)))
+        return worst
+
+    bal = ico_schedule([g1, g2], {(0, 1): f}, 8, 0.5, balance=True)
+    unbal = ico_schedule([g1, g2], {(0, 1): f}, 8, 0.5, balance=False)
+    validate_schedule(bal, [g1, g2], {(0, 1): f})
+    assert spread(bal) <= spread(unbal) + 1e-9
+
+
+def test_ico_merge_reduces_spartitions(band_small):
+    g1, g2 = dag_of(band_small), dag_of(band_small)
+    f = InterDep.identity(band_small.n_rows)
+    merged = ico_schedule([g1, g2], {(0, 1): f}, 4, 0.5, merge=True)
+    unmerged = ico_schedule([g1, g2], {(0, 1): f}, 4, 0.5, merge=False)
+    validate_schedule(merged, [g1, g2], {(0, 1): f})
+    assert merged.n_spartitions <= unmerged.n_spartitions
+
+
+def test_multi_loop_chain(lap2d_nd):
+    """Sec. 3.3: fusing 6 loops one at a time."""
+    g = dag_of(lap2d_nd)
+    n = lap2d_nd.n_rows
+    dags = []
+    inter = {}
+    for k in range(6):
+        dags.append(dag_of(lap2d_nd) if k % 2 else DAG.empty(n))
+        if k:
+            inter[(k - 1, k)] = InterDep.identity(n)
+    s = ico_schedule(dags, inter, 8, 1.2)
+    validate_schedule(s, dags, inter)
+    # fusion amortizes barriers: far fewer than 6 separate phases
+    unfused = concatenate_schedules([lbc_schedule(d, 8) for d in dags])
+    assert s.n_spartitions < unfused.n_spartitions
+
+
+def test_ico_requires_two_loops(lap2d_nd):
+    with pytest.raises(ValueError, match="two"):
+        ico_schedule([dag_of(lap2d_nd)], {}, 4, 1.0)
+    with pytest.raises(ValueError, match="r must"):
+        ico_schedule(
+            [dag_of(lap2d_nd), DAG.empty(lap2d_nd.n_rows)], {}, 0, 1.0
+        )
+
+
+def test_packing_recorded(lap2d_nd):
+    g = dag_of(lap2d_nd)
+    n = lap2d_nd.n_rows
+    f = InterDep.identity(n)
+    assert ico_schedule([g, DAG.empty(n)], {(0, 1): f}, 4, 0.99).packing == "separated"
+    assert ico_schedule([g, DAG.empty(n)], {(0, 1): f}, 4, 1.0).packing == "interleaved"
+
+
+def test_free_vertices_scheduled(lap2d_nd):
+    """Loop-2 vertices with no producers at all still get scheduled."""
+    g = dag_of(lap2d_nd)
+    n = lap2d_nd.n_rows
+    s = ico_schedule([g, DAG.empty(n)], {}, 4, 0.5)
+    validate_schedule(s, [g, DAG.empty(n)], {})
+
+
+def test_interleaved_pack_respects_chain_deps(band_small):
+    """Interleaved packing on CD-CD with pattern F must stay valid."""
+    g1, g2 = dag_of(band_small), dag_of(band_small)
+    f = InterDep.from_csr_pattern(band_small.lower_triangle())
+    s = ico_schedule([g1, g2], {(0, 1): f}, 6, 2.0)
+    validate_schedule(s, [g1, g2], {(0, 1): f})
+    assert s.packing == "interleaved"

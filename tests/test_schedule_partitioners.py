@@ -1,0 +1,179 @@
+"""Tests for wavefront, LBC, and DAGP schedulers on single DAGs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DAG
+from repro.schedule import (
+    dagp_partition,
+    dagp_schedule,
+    lbc_schedule,
+    validate_schedule,
+    wavefront_schedule,
+)
+from repro.schedule.partition_utils import (
+    UnionFind,
+    chunk_by_cost,
+    lpt_pack,
+    window_components,
+)
+
+
+def dag_of(mat):
+    return DAG.from_lower_triangular(mat.lower_triangle())
+
+
+@pytest.mark.parametrize("r", [1, 3, 8])
+def test_wavefront_valid_everywhere(matrix_zoo, r):
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        s = wavefront_schedule(g, r)
+        validate_schedule(s, [g])
+        assert s.n_spartitions == g.n_wavefronts, name
+        assert max(s.widths()) <= r
+
+
+@pytest.mark.parametrize("r", [1, 4, 16])
+def test_lbc_valid_everywhere(matrix_zoo, r):
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        s = lbc_schedule(g, r)
+        validate_schedule(s, [g])
+        assert max(s.widths()) <= r, name
+
+
+def test_lbc_coarsens_vs_wavefront(matrix_zoo):
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        lbc = lbc_schedule(g, 8)
+        wf = wavefront_schedule(g, 8)
+        assert lbc.n_spartitions <= wf.n_spartitions, name
+
+
+def test_lbc_parallel_loop_single_spartition():
+    g = DAG.empty(100)
+    s = lbc_schedule(g, 8)
+    assert s.n_spartitions == 1
+    assert len(s.s_partitions[0]) == 8
+
+
+def test_lbc_chain_serializes_without_barriers():
+    """A pure chain has no parallelism: LBC should produce few
+    s-partitions with sequential w-partitions, not one barrier per
+    vertex."""
+    g = DAG.from_edges(50, [(i, i + 1) for i in range(49)])
+    s = lbc_schedule(g, 4)
+    validate_schedule(s, [g])
+    assert s.n_spartitions <= 4
+
+
+def test_lbc_coarsening_factor_caps_window(band_small):
+    g = dag_of(band_small)
+    s_uncapped = lbc_schedule(g, 4, coarsening_factor=10_000)
+    s_capped = lbc_schedule(g, 4, coarsening_factor=5)
+    validate_schedule(s_capped, [g])
+    assert s_capped.n_spartitions >= s_uncapped.n_spartitions
+
+
+def test_lbc_initial_cut_bounds_spartition_cost(lap2d_nd):
+    g = dag_of(lap2d_nd)
+    s = lbc_schedule(g, 4, initial_cut=8)
+    validate_schedule(s, [g])
+    # with a finer initial cut we expect at least as many s-partitions
+    coarse = lbc_schedule(g, 4, initial_cut=1)
+    assert s.n_spartitions >= coarse.n_spartitions
+
+
+def test_lbc_rejects_bad_r(lap2d_nd):
+    with pytest.raises(ValueError):
+        lbc_schedule(dag_of(lap2d_nd), 0)
+
+
+@pytest.mark.parametrize("r", [2, 6])
+def test_dagp_valid_everywhere(matrix_zoo, r):
+    for name, mat in matrix_zoo:
+        g = dag_of(mat)
+        s = dagp_schedule(g, r)
+        validate_schedule(s, [g])
+
+
+def test_dagp_partition_invariants(lap2d_nd):
+    g = dag_of(lap2d_nd)
+    for n_parts in (2, 5, 8):
+        part = dagp_partition(g, n_parts)
+        assert part.shape == (g.n,)
+        assert part.min() >= 0 and part.max() < n_parts
+        e = g.edge_list()
+        # acyclicity: part ids are a topological order of the quotient
+        assert np.all(part[e[:, 0]] <= part[e[:, 1]])
+
+
+def test_dagp_balance(lap2d_nd):
+    g = dag_of(lap2d_nd)
+    part = dagp_partition(g, 4, imbalance=0.1)
+    loads = np.zeros(4)
+    np.add.at(loads, part, g.weights)
+    assert loads.max() < 3.0 * loads.mean()
+
+
+def test_dagp_single_part_trivial(lap2d_nd):
+    g = dag_of(lap2d_nd)
+    assert np.all(dagp_partition(g, 1) == 0)
+
+
+def test_dagp_slower_than_lbc(lap3d_nd):
+    """Fig. 8's shape: DAGP inspection costs more than LBC."""
+    import time
+
+    g = dag_of(lap3d_nd)
+    t0 = time.perf_counter()
+    lbc_schedule(g, 8)
+    t_lbc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    dagp_schedule(g, 8)
+    t_dagp = time.perf_counter() - t0
+    assert t_dagp > t_lbc
+
+
+class TestPartitionUtils:
+    def test_union_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        uf.union(2, 3)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) != uf.find(0)
+
+    def test_lpt_pack_balances(self):
+        groups = [np.array([i]) for i in range(10)]
+        costs = [float(10 - i) for i in range(10)]
+        bins = lpt_pack(groups, costs, 3)
+        assert len(bins) == 3
+        total = sum(len(b) for b in bins)
+        assert total == 10
+
+    def test_lpt_pack_fewer_groups_than_bins(self):
+        bins = lpt_pack([np.array([0])], [1.0], 8)
+        assert len(bins) == 1
+
+    def test_chunk_by_cost_contiguous(self):
+        verts = np.arange(10)
+        w = np.ones(10)
+        chunks = chunk_by_cost(verts, w, 3)
+        assert np.array_equal(np.concatenate(chunks), verts)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chunk_by_cost_skewed_weights(self):
+        verts = np.arange(4)
+        w = np.array([100.0, 1.0, 1.0, 1.0])
+        chunks = chunk_by_cost(verts, w, 2)
+        assert len(chunks) >= 1
+        assert np.array_equal(np.concatenate(chunks), verts)
+
+    def test_window_components(self):
+        g = DAG.from_edges(5, [(0, 1), (2, 3)])
+        member = np.ones(5, dtype=bool)
+        comps = window_components(g, np.arange(5), member)
+        comp_sets = sorted(tuple(c.tolist()) for c in comps)
+        assert comp_sets == [(0, 1), (2, 3), (4,)]

@@ -1,0 +1,120 @@
+"""Schedule persistence tests (save/load + pattern fingerprints)."""
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.fusion import build_combination
+from repro.schedule import (
+    ScheduleFormatError,
+    load_schedule,
+    pattern_fingerprint,
+    save_schedule,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def fused(lap2d_nd):
+    kernels, _ = build_combination(1, lap2d_nd)
+    return fuse(kernels, 6), kernels
+
+
+def schedules_equal(a, b) -> bool:
+    if a.loop_counts != b.loop_counts or a.n_spartitions != b.n_spartitions:
+        return False
+    for wa, wb in zip(a.s_partitions, b.s_partitions):
+        if len(wa) != len(wb):
+            return False
+        for va, vb in zip(wa, wb):
+            if not np.array_equal(va, vb):
+                return False
+    return True
+
+
+def test_roundtrip(tmp_path, fused):
+    fl, kernels = fused
+    p = tmp_path / "sched.npz"
+    save_schedule(p, fl.schedule)
+    back = load_schedule(p)
+    assert schedules_equal(fl.schedule, back)
+    assert back.packing == fl.schedule.packing
+    validate_schedule(back, fl.dags, fl.inter)
+
+
+def test_meta_preserved(tmp_path, fused):
+    fl, _ = fused
+    p = tmp_path / "sched.npz"
+    save_schedule(p, fl.schedule)
+    back = load_schedule(p)
+    assert back.meta["scheduler"] == "ico"
+
+
+def test_fingerprint_accept_and_reject(tmp_path, lap2d_nd, band_small):
+    kernels, _ = build_combination(1, lap2d_nd)
+    fl = fuse(kernels, 4)
+    fp = pattern_fingerprint(lap2d_nd.lower_triangle())
+    p = tmp_path / "sched.npz"
+    save_schedule(p, fl.schedule, fingerprint=fp)
+    # same pattern -> accepted
+    back = load_schedule(p, expect_fingerprint=fp)
+    assert schedules_equal(fl.schedule, back)
+    # different pattern -> rejected
+    other = pattern_fingerprint(band_small.lower_triangle())
+    with pytest.raises(ScheduleFormatError, match="pattern changed"):
+        load_schedule(p, expect_fingerprint=other)
+
+
+def test_fingerprint_ignores_values(lap2d_nd):
+    a = lap2d_nd
+    b = a.copy()
+    b.data[:] *= 2.0
+    assert pattern_fingerprint(a) == pattern_fingerprint(b)
+
+
+def test_fingerprint_sensitive_to_structure(lap2d_nd, band_small):
+    assert pattern_fingerprint(lap2d_nd) != pattern_fingerprint(band_small)
+
+
+def test_fingerprint_accepts_dags(lap2d_nd):
+    from repro.graph import DAG
+
+    g = DAG.from_lower_triangular(lap2d_nd.lower_triangle())
+    fp1 = pattern_fingerprint(g)
+    fp2 = pattern_fingerprint(DAG.from_lower_triangular(lap2d_nd.lower_triangle()))
+    assert fp1 == fp2
+
+
+def test_empty_schedule_roundtrip(tmp_path):
+    from repro.schedule import FusedSchedule
+
+    empty = FusedSchedule((0,), [])
+    p = tmp_path / "empty.npz"
+    save_schedule(p, empty)
+    back = load_schedule(p)
+    assert back.loop_counts == (0,)
+    assert back.n_spartitions == 0
+
+
+def test_corrupt_file_rejected(tmp_path):
+    p = tmp_path / "bad.npz"
+    np.savez(p, nonsense=np.arange(3))
+    with pytest.raises((ScheduleFormatError, KeyError)):
+        load_schedule(p)
+
+
+def test_execution_after_reload(tmp_path, fused, lap2d_nd):
+    """A reloaded schedule must drive the executor identically."""
+    fl, kernels = fused
+    p = tmp_path / "sched.npz"
+    save_schedule(p, fl.schedule)
+    back = load_schedule(p)
+    kernels2, state = build_combination(1, lap2d_nd, seed=9)
+    st1 = {k: v.copy() for k, v in state.items()}
+    st2 = {k: v.copy() for k, v in state.items()}
+    from repro.runtime import execute_schedule
+
+    execute_schedule(fl.schedule, kernels2, st1)
+    execute_schedule(back, kernels2, st2)
+    for var in st1:
+        assert np.array_equal(st1[var], st2[var]), var

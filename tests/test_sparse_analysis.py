@@ -1,0 +1,88 @@
+"""Matrix analysis and the 27-point FE generator."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    analyze_matrix,
+    apply_ordering,
+    banded_spd,
+    fe_3d_27pt,
+    laplacian_2d,
+    tridiagonal_spd,
+    wavefront_profile,
+)
+
+
+class TestFe3d27pt:
+    def test_spd(self):
+        a = fe_3d_27pt(4)
+        d = a.to_dense()
+        assert np.allclose(d, d.T)
+        assert np.linalg.eigvalsh(d).min() > 0
+
+    def test_interior_stencil_size(self):
+        a = fe_3d_27pt(5)
+        # interior vertex (2,2,2) has the full 27-point stencil
+        center = np.ravel_multi_index((2, 2, 2), (5, 5, 5))
+        assert a.row_nnz()[center] == 27
+
+    def test_corner_stencil_size(self):
+        a = fe_3d_27pt(5)
+        assert a.row_nnz()[0] == 8  # 2x2x2 corner neighbourhood
+
+    def test_rectangular_dims(self):
+        a = fe_3d_27pt(2, 3, 4)
+        assert a.n_rows == 24
+
+
+class TestAnalyze:
+    def test_tridiagonal(self):
+        s = analyze_matrix(tridiagonal_spd(20))
+        assert s.bandwidth == 1
+        assert s.wavefronts == 20  # pure chain
+        assert s.parallelism == pytest.approx(1.0)
+        assert s.symmetric_pattern
+
+    def test_bandwidth_matches_band(self):
+        s = analyze_matrix(banded_spd(60, 4, seed=1))
+        assert s.bandwidth == 4
+
+    def test_nd_increases_parallelism(self):
+        a = laplacian_2d(16)
+        nat = analyze_matrix(a)
+        nd = analyze_matrix(apply_ordering(a, "nd")[0])
+        assert nd.parallelism >= nat.parallelism
+
+    def test_slack_fraction_bounds(self, matrix_zoo):
+        for name, mat in matrix_zoo:
+            s = analyze_matrix(mat)
+            assert 0.0 <= s.slack_fraction <= 1.0, name
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            analyze_matrix(CSRMatrix.from_dense(np.ones((2, 3))))
+
+    def test_asymmetric_pattern_detected(self):
+        a = CSRMatrix.from_dense(
+            np.array([[1.0, 2.0], [0.0, 1.0]])
+        )
+        assert not analyze_matrix(a).symmetric_pattern
+
+    def test_wavefront_profile_sums_to_n(self, lap2d_nd):
+        prof = wavefront_profile(lap2d_nd)
+        assert sum(prof) == lap2d_nd.n_rows
+
+    def test_row_cv_high_for_powerlaw(self):
+        from repro.sparse import powerlaw_spd, random_spd
+
+        cv_pow = analyze_matrix(powerlaw_spd(400, 8.0, seed=1)).row_nnz_cv
+        cv_rand = analyze_matrix(random_spd(400, 8.0, seed=1)).row_nnz_cv
+        assert cv_pow > cv_rand
+
+
+def test_cli_fe3d_spec():
+    from repro.cli import parse_matrix_spec
+
+    assert parse_matrix_spec("fe3d:3").n_rows == 27

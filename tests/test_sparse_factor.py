@@ -1,0 +1,127 @@
+"""Tests for the golden IC0/ILU0 reference factorizations."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    banded_spd,
+    ic0_csc,
+    ilu0_csr,
+    laplacian_2d,
+    random_spd,
+    split_lu_csr,
+    tridiagonal_spd,
+)
+from repro.sparse.factor import ic0_pattern
+
+
+class TestIC0:
+    def test_exact_on_no_fill_pattern(self):
+        """On a tridiagonal (no fill), IC0 equals exact Cholesky."""
+        a = tridiagonal_spd(25)
+        exact = np.linalg.cholesky(a.to_dense())
+        assert np.allclose(ic0_csc(a).to_dense(), exact)
+
+    def test_residual_zero_on_pattern(self, lap2d_small):
+        a = lap2d_small
+        l_fac = ic0_csc(a).to_dense()
+        resid = l_fac @ l_fac.T - a.to_dense()
+        mask = a.to_dense() != 0
+        assert np.abs(resid[mask]).max() < 1e-10
+
+    def test_factor_is_lower_with_positive_diagonal(self, rand_spd_nd):
+        l_fac = ic0_csc(rand_spd_nd)
+        assert l_fac.is_lower_triangular()
+        assert np.all(l_fac.diagonal() > 0)
+
+    def test_pattern_matches_lower_triangle(self, lap2d_small):
+        pat = ic0_pattern(lap2d_small)
+        low = lap2d_small.lower_triangle().to_csc()
+        assert np.array_equal(pat.indptr, low.indptr)
+        assert np.array_equal(pat.indices, low.indices)
+
+    def test_breakdown_raises(self):
+        # indefinite matrix with lower pattern only on the diagonal
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        with pytest.raises(ValueError, match="breakdown"):
+            ic0_csc(a)
+
+    def test_breakdown_clamped_when_allowed(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        l_fac = ic0_csc(a, check_spd=False)
+        assert np.all(np.isfinite(l_fac.data))
+
+    def test_missing_diagonal_raises(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            ic0_csc(a)
+
+    def test_rectangular_raises(self):
+        a = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            ic0_csc(a)
+
+    def test_preconditioner_quality(self, lap3d_nd):
+        """kappa(L^-1 A L^-T) should be far below kappa(A)."""
+        a = lap3d_nd.to_dense()
+        l_fac = ic0_csc(lap3d_nd).to_dense()
+        li = np.linalg.inv(l_fac)
+        precond = li @ a @ li.T
+        assert np.linalg.cond(precond) < 0.5 * np.linalg.cond(a)
+
+
+class TestILU0:
+    def test_exact_on_no_fill_pattern(self):
+        a = tridiagonal_spd(25)
+        l_mat, u_mat = split_lu_csr(ilu0_csr(a))
+        assert np.allclose(l_mat.to_dense() @ u_mat.to_dense(), a.to_dense())
+
+    def test_residual_zero_on_pattern(self, lap2d_small):
+        a = lap2d_small
+        l_mat, u_mat = split_lu_csr(ilu0_csr(a))
+        resid = l_mat.to_dense() @ u_mat.to_dense() - a.to_dense()
+        mask = a.to_dense() != 0
+        assert np.abs(resid[mask]).max() < 1e-10
+
+    def test_unit_lower_and_upper_split(self, band_small):
+        l_mat, u_mat = split_lu_csr(ilu0_csr(band_small))
+        assert np.allclose(np.diag(l_mat.to_dense()), 1.0)
+        assert np.allclose(np.tril(u_mat.to_dense(), k=-1), 0.0)
+
+    def test_combined_layout_preserves_pattern(self, rand_spd_nd):
+        lu = ilu0_csr(rand_spd_nd)
+        assert lu.equal_structure(rand_spd_nd)
+
+    def test_zero_pivot_raises(self):
+        a = CSRMatrix.from_dense(
+            np.array([[0.0, 1.0], [1.0, 1.0]]) + np.eye(2) * 0
+        )
+        # force explicit zero diagonal entry
+        d = np.array([[1e0, 1.0], [1.0, 1.0]])
+        b = CSRMatrix.from_dense(d)
+        b.data[b.diagonal_positions()[0]] = 0.0
+        with pytest.raises(ValueError, match="pivot"):
+            ilu0_csr(b)
+
+    def test_rectangular_raises(self):
+        a = CSRMatrix.from_dense(np.ones((3, 2)))
+        with pytest.raises(ValueError, match="square"):
+            ilu0_csr(a)
+
+    def test_does_not_mutate_input(self, lap2d_small):
+        before = lap2d_small.data.copy()
+        ilu0_csr(lap2d_small)
+        assert np.array_equal(lap2d_small.data, before)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dense_lu_on_no_fill(self, seed):
+        """Banded bw=1 has no fill: ILU0 == dense LU (Doolittle)."""
+        a = banded_spd(15, 1, seed=seed)
+        l_mat, u_mat = split_lu_csr(ilu0_csr(a))
+        import scipy.linalg as sla
+
+        p, l_ref, u_ref = sla.lu(a.to_dense())
+        assert np.allclose(p, np.eye(15))  # diagonally dominant: no pivoting
+        assert np.allclose(l_mat.to_dense(), l_ref)
+        assert np.allclose(u_mat.to_dense(), u_ref)

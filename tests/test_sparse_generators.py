@@ -1,0 +1,135 @@
+"""Tests for the synthetic SPD suite (SuiteSparse stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    arrow_spd,
+    banded_spd,
+    benchmark_suite,
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+    powerlaw_spd,
+    random_lower_triangular,
+    random_spd,
+    tridiagonal_spd,
+)
+
+
+def assert_spd(a):
+    d = a.to_dense()
+    assert np.allclose(d, d.T), "not symmetric"
+    assert np.linalg.eigvalsh(d).min() > 0, "not positive definite"
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: laplacian_1d(20),
+        lambda: laplacian_2d(5),
+        lambda: laplacian_2d(4, 7),
+        lambda: laplacian_3d(3),
+        lambda: laplacian_3d(2, 3, 4),
+        lambda: tridiagonal_spd(15),
+        lambda: banded_spd(50, 3, seed=1),
+        lambda: random_spd(60, 5.0, seed=2),
+        lambda: powerlaw_spd(60, 5.0, seed=3),
+        lambda: arrow_spd(40, width=2),
+    ],
+)
+def test_generators_produce_spd(factory):
+    assert_spd(factory())
+
+
+def test_laplacian_2d_structure():
+    a = laplacian_2d(3)
+    assert a.n_rows == 9
+    # interior row has 5-point stencil: 4 neighbours + diagonal
+    assert a.row_nnz()[4] == 5
+    assert a.row_nnz()[0] == 3  # corner
+
+
+def test_laplacian_3d_structure():
+    a = laplacian_3d(3)
+    assert a.n_rows == 27
+    assert a.row_nnz()[13] == 7  # interior: 7-point stencil
+
+
+def test_banded_bandwidth():
+    bw = 4
+    a = banded_spd(30, bw, seed=0)
+    rows = np.repeat(np.arange(30), a.row_nnz())
+    assert np.abs(rows - a.indices).max() <= bw
+
+
+def test_banded_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        banded_spd(10, 10)
+
+
+def test_arrow_rejects_bad_width():
+    with pytest.raises(ValueError):
+        arrow_spd(10, width=0)
+
+
+def test_generators_deterministic():
+    a = random_spd(50, 4.0, seed=9)
+    b = random_spd(50, 4.0, seed=9)
+    assert a.allclose(b)
+    c = random_spd(50, 4.0, seed=10)
+    assert not (a.nnz == c.nnz and a.allclose(c))
+
+
+def test_random_lower_triangular_properties():
+    low = random_lower_triangular(40, 4.0, seed=5)
+    assert low.is_lower_triangular()
+    # full diagonal present and dominant
+    assert np.all(np.abs(low.diagonal()) > 0)
+
+
+def test_benchmark_suite_scales():
+    tiny = benchmark_suite("tiny")
+    small = benchmark_suite("small")
+    assert len(tiny) >= 4 and len(small) >= 6
+    assert max(m.nnz for m in tiny) < min(
+        max(m.nnz for m in small), 10**6
+    )
+    for m in tiny:
+        assert_spd(m.matrix)
+    names = [m.name for m in small]
+    assert len(names) == len(set(names)), "duplicate suite names"
+
+
+def test_benchmark_suite_unknown_scale():
+    with pytest.raises(ValueError):
+        benchmark_suite("gigantic")
+
+
+def test_chained_spd_structure():
+    from repro.sparse import chained_spd
+
+    a = chained_spd(5, 4)
+    assert a.n_rows == 5 * 3 + 1
+    assert_spd(a)
+    # block interiors are dense: first block's rows touch each other
+    assert a.row_nnz()[1] >= 4
+
+
+def test_chained_spd_deep_dag():
+    """The deep-wavefront regime: critical path scales with block count."""
+    from repro.graph import DAG
+    from repro.sparse import chained_spd
+
+    a = chained_spd(40, 4, seed=1)
+    g = DAG.from_lower_triangular(a.lower_triangle())
+    assert g.n_wavefronts >= 40  # at least one level per block
+
+
+def test_chained_spd_rejects_bad_args():
+    from repro.sparse import chained_spd
+
+    with pytest.raises(ValueError):
+        chained_spd(0, 4)
+    with pytest.raises(ValueError):
+        chained_spd(3, 1)

@@ -1,0 +1,95 @@
+"""Matrix Market I/O tests."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    laplacian_2d,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def test_general_roundtrip(tmp_path, lap2d_small):
+    p = tmp_path / "a.mtx"
+    write_matrix_market(p, lap2d_small)
+    back = read_matrix_market(p)
+    assert back.allclose(lap2d_small)
+
+
+def test_symmetric_roundtrip(tmp_path, lap2d_small):
+    p = tmp_path / "a.mtx"
+    write_matrix_market(p, lap2d_small, symmetric=True)
+    back = read_matrix_market(p)
+    assert back.allclose(lap2d_small)
+    # the file itself only stores the lower triangle
+    n_entries = int(open(p).readlines()[2].split()[2])
+    assert n_entries == lap2d_small.lower_triangle().nnz
+
+
+def test_gzip_roundtrip(tmp_path, lap2d_small):
+    p = tmp_path / "a.mtx.gz"
+    write_matrix_market(p, lap2d_small)
+    assert gzip.open(p, "rt").readline().startswith("%%MatrixMarket")
+    back = read_matrix_market(p)
+    assert back.allclose(lap2d_small)
+
+
+def test_pattern_field(tmp_path):
+    p = tmp_path / "p.mtx"
+    p.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 3\n1 1\n1 2\n2 2\n"
+    )
+    a = read_matrix_market(p)
+    assert np.allclose(a.to_dense(), [[1, 1], [0, 1]])
+
+
+def test_integer_field(tmp_path):
+    p = tmp_path / "i.mtx"
+    p.write_text(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "% comment line\n2 2 2\n1 1 3\n2 2 -4\n"
+    )
+    a = read_matrix_market(p)
+    assert np.allclose(a.to_dense(), [[3, 0], [0, -4]])
+
+
+def test_rejects_non_mm_file(tmp_path):
+    p = tmp_path / "x.mtx"
+    p.write_text("hello\n")
+    with pytest.raises(ValueError, match="not a Matrix Market"):
+        read_matrix_market(p)
+
+
+def test_rejects_array_format(tmp_path):
+    p = tmp_path / "x.mtx"
+    p.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+    with pytest.raises(ValueError, match="unsupported"):
+        read_matrix_market(p)
+
+
+def test_rejects_complex_field(tmp_path):
+    p = tmp_path / "x.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n")
+    with pytest.raises(ValueError, match="unsupported field"):
+        read_matrix_market(p)
+
+
+def test_rejects_truncated_data(tmp_path):
+    p = tmp_path / "x.mtx"
+    p.write_text("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n")
+    with pytest.raises(ValueError, match="expected 3"):
+        read_matrix_market(p)
+
+
+def test_values_preserved_exactly(tmp_path):
+    vals = np.array([1e-17, 3.141592653589793, -2.5e300])
+    a = CSRMatrix(3, 3, [0, 1, 2, 3], [0, 1, 2], vals)
+    p = tmp_path / "v.mtx"
+    write_matrix_market(p, a)
+    back = read_matrix_market(p)
+    assert np.array_equal(back.data, vals)  # repr() roundtrips doubles
