@@ -29,6 +29,7 @@ from common import (
     PAPER_THREADS,
     geomean,
     machine_config,
+    measure_stage_breakdown,
     print_header,
     reordered_suite,
     save_results,
@@ -134,5 +135,21 @@ def test_fig5_fusion_wins_on_reference_matrix():
     assert wins >= 4
 
 
+def stage_breakdowns() -> dict:
+    """Inspector sub-stage seconds per combination (largest suite matrix)."""
+    suite = reordered_suite()
+    m = max(suite, key=lambda sm: sm.nnz)
+    out = {}
+    for cid, combo in sorted(COMBINATIONS.items()):
+        kernels, _ = combo.build(m.matrix)
+        out[combo.name] = {
+            "matrix": m.name,
+            "stages": measure_stage_breakdown(kernels),
+        }
+    return out
+
+
 if __name__ == "__main__":
-    save_results("fig5_performance", run())
+    payload = run()
+    payload["stage_breakdown"] = stage_breakdowns()
+    save_results("fig5_performance", payload)

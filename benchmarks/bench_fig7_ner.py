@@ -31,6 +31,7 @@ sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
 from common import (
     PAPER_THREADS,
     machine_config,
+    measure_stage_breakdown,
     print_header,
     reordered_suite,
     save_results,
@@ -106,5 +107,22 @@ def test_fig7_fusion_ner_below_joint_lbc():
         assert ner_sf <= ner_jl * 1.5
 
 
+def stage_breakdowns() -> dict:
+    """Inspector sub-stage seconds per combination (largest suite matrix)."""
+    suite = reordered_suite()
+    m = max(suite, key=lambda sm: sm.nnz)
+    out = {}
+    for cid in COMBOS:
+        combo = COMBINATIONS[cid]
+        kernels, _ = combo.build(m.matrix)
+        out[combo.name] = {
+            "matrix": m.name,
+            "stages": measure_stage_breakdown(kernels),
+        }
+    return out
+
+
 if __name__ == "__main__":
-    save_results("fig7_ner", {"rows": run()})
+    save_results(
+        "fig7_ner", {"rows": run(), "stage_breakdown": stage_breakdowns()}
+    )

@@ -71,6 +71,25 @@ def save_results(name: str, payload: dict) -> Path:
     return path
 
 
+def measure_stage_breakdown(
+    kernels, n_threads: int = PAPER_THREADS, *, scheduler: str = "ico"
+) -> dict[str, float]:
+    """Per-stage inspector seconds for fusing *kernels* (one fresh run).
+
+    Runs :func:`repro.fuse` under a dedicated
+    :class:`~repro.obs.Recorder` and returns span-name -> total seconds
+    (inter-DAG join, LBC head partitioning, pairing, merging, slack
+    re-balancing, packing, ...). Stored in results JSON under
+    ``"stage_breakdown"`` so perf PRs can show *which* stage moved.
+    """
+    from repro import fuse
+    from repro.obs import recording, stage_breakdown
+
+    with recording() as rec:
+        fuse(kernels, n_threads, scheduler=scheduler, validate=False)
+    return stage_breakdown(rec)
+
+
 def print_header(title: str) -> None:
     """Standard experiment banner."""
     print("=" * 78)

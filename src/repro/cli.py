@@ -12,6 +12,15 @@ Commands
     The Fig. 5 comparison (all implementations) for one combination.
 ``gs``
     Solve ``A x = b`` with fused backward Gauss-Seidel.
+``trace``
+    Trace the inspector→ICO→executor pipeline for one combination:
+    prints a per-stage summary table and writes a unified Perfetto
+    trace (plus optional JSONL / Prometheus text dumps). See
+    ``docs/observability.md``.
+
+``fuse``, ``compare`` and ``gs`` also accept ``--trace PATH`` to record
+the run and write the unified Perfetto trace alongside their normal
+output.
 
 Matrix specs are either a Matrix Market path (``path/to/m.mtx``) or a
 synthetic generator spec: ``lap2d:N``, ``lap3d:N``, ``fe3d:N``,
@@ -30,6 +39,14 @@ import numpy as np
 from .baselines import IMPLEMENTATIONS, compare_implementations
 from .fusion import COMBINATIONS, build_combination, fuse
 from .graph import DAG
+from .obs import (
+    Recorder,
+    export_jsonl,
+    export_perfetto,
+    export_prometheus,
+    format_summary,
+    recording,
+)
 from .runtime import MachineConfig
 from .runtime.profiling import format_profile, profile_schedule
 from .schedule import pattern_fingerprint, save_schedule
@@ -47,6 +64,18 @@ from .sparse import (
 )
 
 __all__ = ["main", "parse_matrix_spec"]
+
+
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 _GENERATORS = {
     "lap2d": lambda args: laplacian_2d(int(args[0])),
@@ -79,6 +108,27 @@ def _load(args):
     return a
 
 
+def _start_recording(args):
+    """Recorder + context for commands honouring ``--trace PATH``."""
+    from contextlib import nullcontext
+
+    if getattr(args, "trace", None):
+        rec = Recorder()
+        return rec, recording(rec)
+    return None, nullcontext()
+
+
+def _write_unified_trace(rec, path, schedule, kernels, n_threads) -> None:
+    out = export_perfetto(
+        rec,
+        path,
+        schedule=schedule,
+        kernels=kernels,
+        config=MachineConfig(n_threads=n_threads),
+    )
+    print(f"unified trace written to {out} (open at https://ui.perfetto.dev)")
+
+
 def _cmd_info(args) -> int:
     from .sparse import analyze_matrix
 
@@ -101,7 +151,9 @@ def _cmd_info(args) -> int:
 def _cmd_fuse(args) -> int:
     a = _load(args)
     kernels, _ = build_combination(args.combo, a)
-    fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+    rec, ctx = _start_recording(args)
+    with ctx:
+        fl = fuse(kernels, args.threads, scheduler=args.scheduler)
     combo = COMBINATIONS[args.combo]
     print(f"combination {args.combo} ({combo.name}): {combo.operations}")
     print(f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing")
@@ -111,6 +163,8 @@ def _cmd_fuse(args) -> int:
         fp = pattern_fingerprint(*(k.intra_dag() for k in kernels))
         path = save_schedule(args.save, fl.schedule, fingerprint=fp)
         print(f"schedule saved to {path}")
+    if rec is not None:
+        _write_unified_trace(rec, args.trace, fl.schedule, kernels, args.threads)
     return 0
 
 
@@ -118,7 +172,9 @@ def _cmd_compare(args) -> int:
     a = _load(args)
     kernels, _ = build_combination(args.combo, a)
     cfg = MachineConfig(n_threads=args.threads)
-    results = compare_implementations(kernels, args.threads, cfg)
+    rec, ctx = _start_recording(args)
+    with ctx:
+        results = compare_implementations(kernels, args.threads, cfg)
     print(f"{'implementation':16s} {'GFLOP/s':>8s} {'sim time':>10s} "
           f"{'barriers':>8s} {'inspect':>9s}")
     for name, res in sorted(
@@ -130,24 +186,29 @@ def _cmd_compare(args) -> int:
             f"{res.schedule.n_spartitions:8d} "
             f"{res.inspector_seconds * 1e3:7.1f}ms"
         )
+    if rec is not None:
+        sched = results["sparse-fusion"].schedule
+        _write_unified_trace(rec, args.trace, sched, kernels, args.threads)
     return 0
 
 
 def _cmd_gs(args) -> int:
-    from .solvers import gauss_seidel
+    from .solvers import build_gs_chain, gauss_seidel
 
     a = _load(args)
     rng = np.random.default_rng(args.seed)
     b = rng.random(a.n_rows)
-    res = gauss_seidel(
-        a,
-        b,
-        tol=args.tol,
-        max_iters=args.max_iters,
-        unroll=args.unroll,
-        method=args.method,
-        n_threads=args.threads,
-    )
+    rec, ctx = _start_recording(args)
+    with ctx:
+        res = gauss_seidel(
+            a,
+            b,
+            tol=args.tol,
+            max_iters=args.max_iters,
+            unroll=args.unroll,
+            method=args.method,
+            n_threads=args.threads,
+        )
     status = "converged" if res.converged else "NOT converged"
     print(
         f"{status} in {res.iterations} iterations "
@@ -158,6 +219,32 @@ def _cmd_gs(args) -> int:
         f"inspector {res.inspector_seconds * 1e3:.1f} ms, "
         f"{res.meta['chunks']} chunks of {2 * args.unroll} fused loops"
     )
+    if rec is not None:
+        kernels, _, _ = build_gs_chain(a, args.unroll)
+        _write_unified_trace(rec, args.trace, res.schedule, kernels, args.threads)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    a = _load(args)
+    kernels, _ = build_combination(args.combo, a)
+    combo = COMBINATIONS[args.combo]
+    rec = Recorder()
+    with recording(rec):
+        fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+    print(f"combination {args.combo} ({combo.name}): {combo.operations}")
+    print(
+        f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing, "
+        f"{fl.schedule.n_spartitions} s-partitions"
+    )
+    print()
+    print(format_summary(rec, title=f"pipeline trace ({args.scheduler})"))
+    _write_unified_trace(rec, args.out, fl.schedule, kernels, args.threads)
+    if args.jsonl:
+        print(f"JSONL event log written to {export_jsonl(rec, args.jsonl)}")
+    if args.prom:
+        export_prometheus(rec, args.prom)
+        print(f"Prometheus text written to {args.prom}")
     return 0
 
 
@@ -167,9 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Sparse fusion (SC'23) reproduction toolkit",
     )
+    p.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def common(sp):
+    def common(sp, *, trace=False):
         sp.add_argument("--matrix", default="lap3d:10", help="matrix spec")
         sp.add_argument(
             "--ordering",
@@ -178,13 +268,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="pre-ordering (default: nested dissection)",
         )
         sp.add_argument("--threads", type=int, default=8)
+        if trace:
+            sp.add_argument(
+                "--trace",
+                metavar="PATH",
+                help="record the run; write a unified Perfetto trace to PATH",
+            )
 
     sp = sub.add_parser("info", help="matrix and DAG statistics")
     common(sp)
     sp.set_defaults(fn=_cmd_info)
 
     sp = sub.add_parser("fuse", help="fuse one Table 1 combination")
-    common(sp)
+    common(sp, trace=True)
     sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
     sp.add_argument(
         "--scheduler",
@@ -195,12 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=_cmd_fuse)
 
     sp = sub.add_parser("compare", help="compare all implementations")
-    common(sp)
+    common(sp, trace=True)
     sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
     sp.set_defaults(fn=_cmd_compare)
 
     sp = sub.add_parser("gs", help="fused Gauss-Seidel solve")
-    common(sp)
+    common(sp, trace=True)
     sp.add_argument("--unroll", type=int, default=2)
     sp.add_argument("--tol", type=float, default=1e-8)
     sp.add_argument("--max-iters", type=int, default=2000)
@@ -211,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--seed", type=int, default=0)
     sp.set_defaults(fn=_cmd_gs)
+
+    sp = sub.add_parser(
+        "trace", help="trace the inspector/ICO pipeline for one combination"
+    )
+    common(sp)
+    sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
+    sp.add_argument(
+        "--scheduler",
+        default="ico",
+        choices=("ico", "joint-wavefront", "joint-lbc", "joint-dagp", "joint-hdagg"),
+    )
+    sp.add_argument(
+        "--out",
+        default="trace.json",
+        help="unified Perfetto trace path (default: trace.json)",
+    )
+    sp.add_argument("--jsonl", help="also write a JSONL event log")
+    sp.add_argument("--prom", help="also write Prometheus text metrics")
+    sp.set_defaults(fn=_cmd_trace)
     return p
 
 

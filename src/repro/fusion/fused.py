@@ -10,7 +10,6 @@ exact same executor.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +18,7 @@ from ..graph.dag import DAG
 from ..graph.interdep import InterDep
 from ..graph.joint import build_joint_dag
 from ..kernels.base import Kernel, State
+from ..obs import current as current_recorder
 from ..runtime.executor import allocate_state, execute_schedule, run_reference
 from ..runtime.machine import MachineConfig, MachineReport, SimulatedMachine
 from ..runtime.threaded import ThreadedExecutor
@@ -113,19 +113,27 @@ def inspect_loops(
     The reuse ratio of a multi-loop program is that of the first pair,
     matching the paper's pairwise processing.
     """
-    dags = [k.intra_dag() for k in kernels]
+    rec = current_recorder()
+    with rec.span("inspector.intra_dags", loops=len(kernels)):
+        dags = [k.intra_dag() for k in kernels]
     inter: dict[tuple[int, int], InterDep] = {}
-    for a in range(len(kernels)):
-        b_range = (
-            range(a + 1, min(a + 2, len(kernels)))
-            if consecutive_only
-            else range(a + 1, len(kernels))
-        )
-        for b in b_range:
-            f = build_inter_dep(kernels[a], kernels[b])
-            if f.nnz:
-                inter[(a, b)] = f
-    reuse = compute_reuse(kernels[0], kernels[1]) if len(kernels) > 1 else 0.0
+    with rec.span("inspector.inter_dep") as sp:
+        for a in range(len(kernels)):
+            b_range = (
+                range(a + 1, min(a + 2, len(kernels)))
+                if consecutive_only
+                else range(a + 1, len(kernels))
+            )
+            for b in b_range:
+                f = build_inter_dep(kernels[a], kernels[b])
+                if f.nnz:
+                    inter[(a, b)] = f
+        sp.set(pairs=len(inter))
+    with rec.span("inspector.reuse"):
+        reuse = compute_reuse(kernels[0], kernels[1]) if len(kernels) > 1 else 0.0
+    rec.count("inspector.vertices", sum(d.n for d in dags))
+    rec.count("inspector.intra_edges", sum(d.n_edges for d in dags))
+    rec.count("inspector.inter_edges", sum(f.nnz for f in inter.values()))
     return dags, inter, reuse
 
 
@@ -167,21 +175,24 @@ def fuse(
     """
     if len(kernels) < 2:
         raise ValueError("fuse() needs at least two loops")
-    t0 = time.perf_counter()
-    dags, inter, measured_reuse = inspect_loops(kernels)
-    reuse = measured_reuse if reuse_ratio is None else float(reuse_ratio)
-    if scheduler == "ico":
-        sched = ico_schedule(dags, inter, n_threads, reuse, **scheduler_kwargs)
-    elif scheduler in _JOINT_SCHEDULERS:
-        sched = _schedule_joint(
-            scheduler, dags, inter, n_threads, reuse, **scheduler_kwargs
-        )
-    else:
-        raise ValueError(
-            f"unknown scheduler {scheduler!r}; expected 'ico' or one of "
-            f"{sorted(_JOINT_SCHEDULERS)}"
-        )
-    inspector_seconds = time.perf_counter() - t0
+    rec = current_recorder()
+    with rec.span("inspector", scheduler=scheduler, loops=len(kernels)) as inspect_span:
+        dags, inter, measured_reuse = inspect_loops(kernels)
+        reuse = measured_reuse if reuse_ratio is None else float(reuse_ratio)
+        rec.event("inspector.reuse_ratio", value=reuse)
+        if scheduler == "ico":
+            sched = ico_schedule(dags, inter, n_threads, reuse, **scheduler_kwargs)
+        elif scheduler in _JOINT_SCHEDULERS:
+            with rec.span(f"schedule.{scheduler}"):
+                sched = _schedule_joint(
+                    scheduler, dags, inter, n_threads, reuse, **scheduler_kwargs
+                )
+        else:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected 'ico' or one of "
+                f"{sorted(_JOINT_SCHEDULERS)}"
+            )
+    inspector_seconds = inspect_span.seconds
     fused = FusedLoops(
         kernels=list(kernels),
         dags=dags,

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graph.interdep import InterDep
 from ..kernels.base import Kernel, internal_var
+from ..obs import current as current_recorder
 from ..sparse.base import INDEX_DTYPE
 
 __all__ = ["build_inter_dep", "compute_reuse", "shared_variables"]
@@ -96,23 +97,29 @@ def build_inter_dep(
     variable. Redundant edges (already implied transitively) are harmless
     and retained — dedup only removes exact duplicates.
     """
-    pairs = []
-    for var in shared_variables(k1, k2):
-        w1 = k1.write_map(var) if var in k1.write_vars else None
-        r1 = k1.read_map(var) if var in k1.read_vars else None
-        w2 = k2.write_map(var) if var in k2.write_vars else None
-        r2 = k2.read_map(var) if var in k2.read_vars else None
-        if w1 is not None and r2 is not None:
-            pairs.append(_join_maps(w1, r2))
-        if include_anti and r1 is not None and w2 is not None:
-            pairs.append(_join_maps(r1, w2))
-        if include_output and w1 is not None and w2 is not None:
-            pairs.append(_join_maps(w1, w2))
-    if pairs:
-        edges = np.concatenate(pairs, axis=0)
-    else:
-        edges = np.empty((0, 2), dtype=INDEX_DTYPE)
-    return InterDep.from_edges(k2.n_iterations, k1.n_iterations, edges)
+    rec = current_recorder()
+    with rec.span("inspector.join", k1=k1.name, k2=k2.name) as sp:
+        pairs = []
+        shared = shared_variables(k1, k2)
+        for var in shared:
+            w1 = k1.write_map(var) if var in k1.write_vars else None
+            r1 = k1.read_map(var) if var in k1.read_vars else None
+            w2 = k2.write_map(var) if var in k2.write_vars else None
+            r2 = k2.read_map(var) if var in k2.read_vars else None
+            if w1 is not None and r2 is not None:
+                pairs.append(_join_maps(w1, r2))
+            if include_anti and r1 is not None and w2 is not None:
+                pairs.append(_join_maps(r1, w2))
+            if include_output and w1 is not None and w2 is not None:
+                pairs.append(_join_maps(w1, w2))
+        if pairs:
+            edges = np.concatenate(pairs, axis=0)
+        else:
+            edges = np.empty((0, 2), dtype=INDEX_DTYPE)
+        f = InterDep.from_edges(k2.n_iterations, k1.n_iterations, edges)
+        sp.set(shared_vars=len(shared), raw_edges=int(edges.shape[0]), nnz=f.nnz)
+        rec.count("inspector.join_edges", f.nnz)
+    return f
 
 
 def compute_reuse(k1: Kernel, k2: Kernel) -> float:

@@ -1,0 +1,39 @@
+"""Observability: span tracing and counters across the fusion pipeline.
+
+See :mod:`repro.obs.recorder` for the recording API and
+:mod:`repro.obs.exporters` for the output formats (JSONL, unified
+Perfetto trace, console summary, Prometheus text). ``docs/observability.md``
+is the user guide.
+"""
+
+from .exporters import (
+    export_jsonl,
+    export_perfetto,
+    export_prometheus,
+    format_summary,
+    stage_breakdown,
+)
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Span,
+    current,
+    recording,
+    set_recorder,
+)
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "current",
+    "recording",
+    "set_recorder",
+    "export_jsonl",
+    "export_perfetto",
+    "export_prometheus",
+    "format_summary",
+    "stage_breakdown",
+]

@@ -1,0 +1,253 @@
+"""Exporters for recorded observability data.
+
+Four output formats, all fed from one :class:`~repro.obs.Recorder`:
+
+* :func:`export_jsonl` — one JSON object per line (``span`` / ``counter``
+  / ``event`` records), the machine-readable event log.
+* :func:`export_perfetto` — a Chrome/Perfetto ``traceEvents`` JSON of
+  the **live** inspector spans; pass ``schedule=`` + ``kernels=`` to
+  append the **simulated** executor timeline from
+  :func:`repro.runtime.trace.simulated_trace_events` as a second
+  process track — the unified inspector→executor trace. Open the file
+  at https://ui.perfetto.dev.
+* :func:`format_summary` — a console table of per-span totals plus
+  counters (what ``repro trace`` prints).
+* :func:`export_prometheus` — Prometheus text exposition format
+  (``repro_span_seconds_total`` etc.) for scrape-style consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .recorder import NullRecorder, Recorder
+
+__all__ = [
+    "export_jsonl",
+    "export_perfetto",
+    "format_summary",
+    "export_prometheus",
+    "stage_breakdown",
+]
+
+
+def _span_record(rec: Recorder, s) -> dict:
+    return {
+        "type": "span",
+        "name": s.name,
+        "span_id": s.span_id,
+        "parent_id": s.parent_id,
+        "depth": s.depth,
+        "thread_id": s.thread_id,
+        "thread_name": s.thread_name,
+        "start": s.t_start - rec.t0,
+        "seconds": s.seconds,
+        "attrs": s.attrs,
+    }
+
+
+def export_jsonl(rec: Recorder, path) -> Path:
+    """Write spans, counters and events to *path*, one JSON per line."""
+    path = Path(path)
+    lines = []
+    for s in sorted(rec.spans, key=lambda s: s.t_start):
+        lines.append(json.dumps(_span_record(rec, s), default=float))
+    for e in rec.events:
+        lines.append(json.dumps({"type": "event", **e}, default=float))
+    for name, value in sorted(rec.counters.items()):
+        lines.append(
+            json.dumps({"type": "counter", "name": name, "value": value})
+        )
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def export_perfetto(
+    rec: Recorder,
+    path,
+    *,
+    schedule=None,
+    kernels=None,
+    config=None,
+    fidelity: str = "flat",
+) -> Path:
+    """Write a Perfetto-loadable JSON trace of *rec* to *path*.
+
+    Live spans appear under process ``"inspector (wall clock)"``; when
+    *schedule* and *kernels* are given, the simulated executor timeline
+    is appended under process ``"executor (simulated)"``, starting where
+    the live spans end — the unified pipeline trace.
+    """
+    events: list[dict] = []
+    tids: dict[int, int] = {}
+    INSPECTOR_PID, EXECUTOR_PID = 1, 2
+    end_us = 0.0
+    for s in sorted(rec.spans, key=lambda s: s.t_start):
+        tid = tids.setdefault(s.thread_id, len(tids))
+        ts = (s.t_start - rec.t0) * 1e6
+        dur = max(s.seconds * 1e6, 0.001)
+        end_us = max(end_us, ts + dur)
+        events.append(
+            {
+                "name": s.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": ts,
+                "dur": dur,
+                "pid": INSPECTOR_PID,
+                "tid": tid,
+                "args": {k: _jsonable(v) for k, v in s.attrs.items()},
+            }
+        )
+    for e in rec.events:
+        tid = tids.setdefault(e["thread_id"], len(tids))
+        events.append(
+            {
+                "name": e["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": e["t"] * 1e6,
+                "pid": INSPECTOR_PID,
+                "tid": tid,
+                "args": {k: _jsonable(v) for k, v in e["attrs"].items()},
+            }
+        )
+    events.append(_process_name(INSPECTOR_PID, "inspector (wall clock)"))
+    for thread_id, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": INSPECTOR_PID,
+                "tid": tid,
+                "args": {"name": f"thread {thread_id}"},
+            }
+        )
+
+    total_sim_us = 0.0
+    if schedule is not None and kernels is not None:
+        from ..runtime.trace import simulated_trace_events
+
+        sim_events, total_sim_us = simulated_trace_events(
+            schedule,
+            kernels,
+            config,
+            fidelity=fidelity,
+            t0_us=end_us,
+            pid=EXECUTOR_PID,
+        )
+        events.extend(sim_events)
+        events.append(_process_name(EXECUTOR_PID, "executor (simulated)"))
+
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "live_spans": len(rec.spans),
+            "counters": dict(rec.counters),
+            "total_simulated_us": total_sim_us,
+        },
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, default=float))
+    return path
+
+
+def _process_name(pid: int, name: str) -> dict:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def _jsonable(v):
+    if isinstance(v, (str, int, float, bool)) or v is None:
+        return v
+    return str(v)
+
+
+def format_summary(rec: Recorder | NullRecorder, *, title: str = "trace summary") -> str:
+    """Render per-span totals and counters as a console table."""
+    totals = rec.totals() if hasattr(rec, "totals") else {}
+    lines = [title, "-" * len(title)]
+    if totals:
+        grand = max(
+            (a["seconds"] for n, a in totals.items() if "." not in n),
+            default=sum(a["seconds"] for a in totals.values()),
+        )
+        lines.append(
+            f"{'span':34s} {'count':>6s} {'total ms':>10s} {'mean ms':>9s} {'share':>6s}"
+        )
+        for name in sorted(totals, key=lambda n: -totals[n]["seconds"]):
+            agg = totals[name]
+            share = agg["seconds"] / grand if grand > 0 else 0.0
+            lines.append(
+                f"{name:34s} {int(agg['count']):6d} "
+                f"{agg['seconds'] * 1e3:10.2f} "
+                f"{agg['mean_seconds'] * 1e3:9.3f} "
+                f"{100 * share:5.1f}%"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    counters = getattr(rec, "counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':40s} {'value':>14s}")
+        for name in sorted(counters):
+            v = counters[name]
+            text = f"{v:.0f}" if float(v).is_integer() else f"{v:.4g}"
+            lines.append(f"{name:40s} {text:>14s}")
+    return "\n".join(lines)
+
+
+def export_prometheus(rec: Recorder, path=None) -> str:
+    """Prometheus text exposition of span totals and counters.
+
+    Returns the text; also writes it to *path* when given.
+    """
+    lines = [
+        "# HELP repro_span_seconds_total Total wall seconds per span name.",
+        "# TYPE repro_span_seconds_total counter",
+    ]
+    totals = rec.totals()
+    for name in sorted(totals):
+        lines.append(
+            f'repro_span_seconds_total{{span="{name}"}} '
+            f"{totals[name]['seconds']:.9f}"
+        )
+    lines.append("# HELP repro_span_count Number of closed spans per name.")
+    lines.append("# TYPE repro_span_count counter")
+    for name in sorted(totals):
+        lines.append(
+            f'repro_span_count{{span="{name}"}} {int(totals[name]["count"])}'
+        )
+    lines.append("# HELP repro_counter_total Instrumentation counters.")
+    lines.append("# TYPE repro_counter_total counter")
+    for name in sorted(rec.counters):
+        lines.append(
+            f'repro_counter_total{{counter="{name}"}} {rec.counters[name]:g}'
+        )
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def stage_breakdown(rec: Recorder | NullRecorder, prefix: str = "") -> dict[str, float]:
+    """Per-span-name total seconds (optionally filtered by *prefix*).
+
+    The shape stored in benchmark results JSON under
+    ``"stage_breakdown"`` — inspector sub-stage seconds keyed by span
+    name.
+    """
+    totals = rec.totals() if hasattr(rec, "totals") else {}
+    return {
+        name: agg["seconds"]
+        for name, agg in sorted(totals.items())
+        if name.startswith(prefix)
+    }

@@ -14,7 +14,7 @@ from .metrics import (
     potential_gain,
 )
 from .threaded import ThreadedExecutor
-from .trace import export_chrome_trace
+from .trace import export_chrome_trace, simulated_trace_events
 
 __all__ = [
     "AddressSpace",
@@ -39,4 +39,5 @@ __all__ = [
     "profile_schedule",
     "format_profile",
     "export_chrome_trace",
+    "simulated_trace_events",
 ]

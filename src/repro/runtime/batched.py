@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels.base import Kernel, State
+from ..obs import current as current_recorder
 from ..schedule.schedule import FusedSchedule
 
 __all__ = ["execute_schedule_batched"]
@@ -55,21 +56,33 @@ def execute_schedule_batched(
     loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
     for k in range(len(kernels)):
         loop_of[offsets[k] : offsets[k + 1]] = k
-    for _, _, verts in schedule.iter_all():
-        if verts.shape[0] == 0:
-            continue
-        loops = loop_of[verts]
-        # maximal runs of equal loop index
-        boundaries = np.nonzero(np.diff(loops))[0] + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [verts.shape[0]]])
-        for a, b in zip(starts, ends):
-            k = int(loops[a])
-            kern = kernels[k]
-            iters = verts[a:b] - int(offsets[k])
-            if batchable[k] and iters.shape[0] >= min_batch:
-                kern.run_batch(iters, state, scratches[k])
-            else:
-                for i in iters.tolist():
-                    kern.run_iteration(i, state, scratches[k])
+    rec = current_recorder()
+    n_batched = n_scalar = n_batches = 0
+    with rec.span(
+        "executor.run", executor="batched", vertices=schedule.n_vertices
+    ):
+        for _, _, verts in schedule.iter_all():
+            if verts.shape[0] == 0:
+                continue
+            loops = loop_of[verts]
+            # maximal runs of equal loop index
+            boundaries = np.nonzero(np.diff(loops))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [verts.shape[0]]])
+            for a, b in zip(starts, ends):
+                k = int(loops[a])
+                kern = kernels[k]
+                iters = verts[a:b] - int(offsets[k])
+                if batchable[k] and iters.shape[0] >= min_batch:
+                    kern.run_batch(iters, state, scratches[k])
+                    n_batched += iters.shape[0]
+                    n_batches += 1
+                else:
+                    for i in iters.tolist():
+                        kern.run_iteration(i, state, scratches[k])
+                    n_scalar += iters.shape[0]
+    if rec.enabled:
+        rec.count("executor.batched_iterations", n_batched)
+        rec.count("executor.scalar_iterations", n_scalar)
+        rec.count("executor.batches", n_batches)
     return state

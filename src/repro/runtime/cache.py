@@ -154,3 +154,12 @@ class ThreadCache:
             "cycles": self.cycles,
             "avg_latency": self.avg_latency,
         }
+
+    def emit_counters(self, recorder, prefix: str = "cache") -> None:
+        """Add this cache's hit/miss totals to *recorder*'s counters.
+
+        Called once per simulated thread at the end of a cache-fidelity
+        simulation; per-access recording would swamp the recorder.
+        """
+        for key in ("accesses", "l1_hits", "llc_hits", "misses"):
+            recorder.count(f"{prefix}.{key}", self.stats()[key])

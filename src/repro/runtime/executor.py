@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..kernels.base import Kernel, State, make_state
+from ..obs import current as current_recorder
 from ..schedule.schedule import FusedSchedule
 
 __all__ = ["execute_schedule", "run_reference", "allocate_state"]
@@ -77,8 +78,23 @@ def execute_schedule(
     loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
     for k in range(len(kernels)):
         loop_of[offsets[k] : offsets[k + 1]] = k
-    for _, _, verts in schedule.iter_all():
-        for v in verts.tolist():
-            k = int(loop_of[v])
-            kernels[k].run_iteration(v - int(offsets[k]), state, scratches[k])
+    rec = current_recorder()
+    with rec.span(
+        "executor.run", executor="sequential", vertices=schedule.n_vertices
+    ):
+        for s, wlist in enumerate(schedule.s_partitions):
+            with rec.span("executor.spartition", s=s, width=len(wlist)):
+                for w, verts in enumerate(wlist):
+                    with rec.span(
+                        "executor.wpartition",
+                        s=s,
+                        w=w,
+                        iterations=int(verts.shape[0]),
+                    ):
+                        for v in verts.tolist():
+                            k = int(loop_of[v])
+                            kernels[k].run_iteration(
+                                v - int(offsets[k]), state, scratches[k]
+                            )
+        rec.count("executor.iterations", schedule.n_vertices)
     return state

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..kernels.base import Kernel
+from ..obs import current as current_recorder
 from ..schedule.schedule import FusedSchedule
 from .cache import AddressSpace, CacheConfig, ThreadCache
 
@@ -200,11 +201,14 @@ class SimulatedMachine:
             sp_cycles.append(float(busy[s].max(initial=0.0)) + cfg.barrier_cycles)
 
         if fidelity == "cache":
+            rec = current_recorder()
             agg = {"accesses": 0.0, "l1_hits": 0.0, "llc_hits": 0.0, "misses": 0.0, "cycles": 0.0}
             for tc in caches:
                 for key, val in tc.stats().items():
                     if key in agg:
                         agg[key] += val
+                if rec.enabled:
+                    tc.emit_counters(rec)
             cache_stats = agg
 
         total = float(sum(sp_cycles))

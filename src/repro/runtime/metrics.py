@@ -32,10 +32,15 @@ __all__ = [
 
 
 def gflops(kernels: list[Kernel], report: MachineReport) -> float:
-    """Theoretical GFLOP/s of one simulated execution."""
+    """Theoretical GFLOP/s of one simulated execution.
+
+    A zero-duration report (e.g. an empty schedule) yields ``0.0`` —
+    propagating ``inf`` would poison downstream geomeans and JSON
+    serialization.
+    """
     flops = sum(k.flop_count() for k in kernels)
     sec = report.seconds
-    return flops / sec / 1e9 if sec > 0 else float("inf")
+    return flops / sec / 1e9 if sec > 0 else 0.0
 
 
 def potential_gain(report: MachineReport, config: MachineConfig) -> float:

@@ -24,6 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from ..kernels.base import Kernel, State
+from ..obs import current as current_recorder
 from ..schedule.schedule import FusedSchedule
 
 __all__ = ["ThreadedExecutor"]
@@ -54,24 +55,41 @@ class ThreadedExecutor:
         tls = threading.local()
         atomic_lock = threading.Lock()
         needs_atomic = [getattr(k, "needs_atomic", False) for k in kernels]
+        rec = current_recorder()
 
-        def run_wpartition(verts: np.ndarray) -> None:
-            scratches = getattr(tls, "scratches", None)
-            if scratches is None:
-                scratches = [k.make_scratch() for k in kernels]
-                tls.scratches = scratches
-            for v in verts.tolist():
-                k = int(loop_of[v])
-                i = v - int(offsets[k])
-                if needs_atomic[k]:
-                    with atomic_lock:
+        def run_wpartition(s: int, w: int, verts: np.ndarray) -> None:
+            # The span opens on the *worker* thread: per-thread rows in
+            # the trace, nesting tracked per worker (roots at depth 0).
+            with rec.span(
+                "executor.wpartition",
+                s=s,
+                w=w,
+                iterations=int(verts.shape[0]),
+            ):
+                scratches = getattr(tls, "scratches", None)
+                if scratches is None:
+                    scratches = [k.make_scratch() for k in kernels]
+                    tls.scratches = scratches
+                for v in verts.tolist():
+                    k = int(loop_of[v])
+                    i = v - int(offsets[k])
+                    if needs_atomic[k]:
+                        with atomic_lock:
+                            kernels[k].run_iteration(i, state, scratches[k])
+                    else:
                         kernels[k].run_iteration(i, state, scratches[k])
-                else:
-                    kernels[k].run_iteration(i, state, scratches[k])
 
-        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-            for wlist in schedule.s_partitions:
-                futures = [pool.submit(run_wpartition, verts) for verts in wlist]
-                for f in futures:
-                    f.result()  # barrier; re-raises worker exceptions
+        with rec.span(
+            "executor.run", executor="threaded", threads=self.n_threads
+        ):
+            with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+                for s, wlist in enumerate(schedule.s_partitions):
+                    with rec.span("executor.spartition", s=s, width=len(wlist)):
+                        futures = [
+                            pool.submit(run_wpartition, s, w, verts)
+                            for w, verts in enumerate(wlist)
+                        ]
+                        for f in futures:
+                            f.result()  # barrier; re-raises worker exceptions
+            rec.count("executor.iterations", schedule.n_vertices)
         return state

@@ -6,6 +6,11 @@ w-partition (labelled by s-partition, kernel mix, and cost), plus
 barrier markers. Drop the file into https://ui.perfetto.dev to *see*
 the load imbalance and synchronization structure the paper's plots
 aggregate into single numbers.
+
+:func:`simulated_trace_events` is the reusable core: it returns the raw
+``traceEvents`` list so :mod:`repro.obs.exporters` can merge the
+simulated executor timeline with live inspector spans into one unified
+trace.
 """
 
 from __future__ import annotations
@@ -19,20 +24,22 @@ from ..kernels.base import Kernel
 from ..schedule.schedule import FusedSchedule
 from .machine import MachineConfig, SimulatedMachine
 
-__all__ = ["export_chrome_trace"]
+__all__ = ["export_chrome_trace", "simulated_trace_events"]
 
 
-def export_chrome_trace(
-    path,
+def simulated_trace_events(
     schedule: FusedSchedule,
     kernels: list[Kernel],
     config: MachineConfig | None = None,
     *,
     fidelity: str = "flat",
-) -> Path:
-    """Simulate *schedule* and write its thread timeline to *path*.
+    t0_us: float = 0.0,
+    pid: int = 0,
+) -> tuple[list[dict], float]:
+    """Simulate *schedule* and build its Chrome ``traceEvents`` list.
 
-    Returns the written path. Timestamps are simulated microseconds.
+    Returns ``(events, total_us)``; timestamps are simulated
+    microseconds starting at *t0_us*, emitted under process id *pid*.
     """
     cfg = config or MachineConfig()
     machine = SimulatedMachine(cfg)
@@ -61,9 +68,9 @@ def export_chrome_trace(
                     "name": f"s{s}/w{w}",
                     "cat": "wpartition",
                     "ph": "X",
-                    "ts": us(t_start),
+                    "ts": t0_us + us(t_start),
                     "dur": max(us(sp_busy[thread]), 0.001),
-                    "pid": 0,
+                    "pid": pid,
                     "tid": thread,
                     "args": {
                         "s_partition": s,
@@ -79,20 +86,39 @@ def export_chrome_trace(
                 "name": f"barrier s{s}",
                 "cat": "barrier",
                 "ph": "X",
-                "ts": us(sp_end),
+                "ts": t0_us + us(sp_end),
                 "dur": max(us(cfg.barrier_cycles), 0.001),
-                "pid": 0,
+                "pid": pid,
                 "tid": 0,
                 "args": {"s_partition": s},
             }
         )
         t_start = sp_end + cfg.barrier_cycles
+    return events, us(report.total_cycles)
+
+
+def export_chrome_trace(
+    path,
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    config: MachineConfig | None = None,
+    *,
+    fidelity: str = "flat",
+) -> Path:
+    """Simulate *schedule* and write its thread timeline to *path*.
+
+    Returns the written path. Timestamps are simulated microseconds.
+    """
+    cfg = config or MachineConfig()
+    events, total_us = simulated_trace_events(
+        schedule, kernels, cfg, fidelity=fidelity
+    )
     payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
             "schedule": schedule.meta.get("scheduler", "unknown"),
-            "total_simulated_us": us(report.total_cycles),
+            "total_simulated_us": total_us,
             "threads": cfg.n_threads,
         },
     }

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..graph.dag import DAG
 from ..graph.interdep import InterDep
+from ..obs import current as current_recorder
 from ..sparse.base import INDEX_DTYPE
 from .lbc import lbc_schedule
 from .partition_utils import pack_components, window_components
@@ -81,31 +82,47 @@ def ico_schedule(
         raise ValueError("ICO fuses at least two loops")
     if r < 1:
         raise ValueError("r must be >= 1")
-    builder = _IcoBuilder(dags, inter, r)
+    rec = current_recorder()
+    with rec.span("ico", loops=len(dags), r=r) as ico_span:
+        builder = _IcoBuilder(dags, inter, r)
+        rec.count("ico.vertices", builder.n_total)
 
-    # --- step 1: vertex partitioning + partition pairing ---------------
-    head = 1 if dags[1].has_edges else 0  # Algorithm 1, line 1
-    head_sched = lbc_schedule(
-        dags[head], r, initial_cut=initial_cut, coarsening_factor=coarsening_factor
-    )
-    builder.install_head(head, head_sched)
-    if head == 1:
-        builder.embed_backward(0)
-    else:
-        builder.embed_forward(1)
-    for t in range(2, len(dags)):  # Sec. 3.3: one additional loop at a time
-        builder.embed_forward(t)
-    builder.finalize_partitions()
+        # --- step 1: vertex partitioning + partition pairing -----------
+        head = 1 if dags[1].has_edges else 0  # Algorithm 1, line 1
+        with rec.span("ico.lbc_head", head=head):
+            head_sched = lbc_schedule(
+                dags[head],
+                r,
+                initial_cut=initial_cut,
+                coarsening_factor=coarsening_factor,
+            )
+        with rec.span("ico.pairing"):
+            builder.install_head(head, head_sched)
+            if head == 1:
+                builder.embed_backward(0)
+            else:
+                builder.embed_forward(1)
+            for t in range(2, len(dags)):  # Sec. 3.3: one loop at a time
+                builder.embed_forward(t)
+            builder.finalize_partitions()
 
-    # --- step 2: merging + slack vertex assignment ---------------------
-    if merge:
-        builder.merge_adjacent()
-    if balance:
-        builder.slack_balance(balance_eps_factor)
+        # --- step 2: merging + slack vertex assignment -----------------
+        if merge:
+            before = builder.n_sparts
+            with rec.span("ico.merge") as sp:
+                builder.merge_adjacent()
+                sp.set(merged=before - builder.n_sparts)
+            rec.count("ico.merged_spartitions", before - builder.n_sparts)
+        if balance:
+            with rec.span("ico.slack_balance"):
+                builder.slack_balance(balance_eps_factor)
 
-    # --- step 3: packing ------------------------------------------------
-    packing = "interleaved" if reuse_ratio >= 1.0 else "separated"
-    sched = builder.build_schedule(packing)
+        # --- step 3: packing -------------------------------------------
+        packing = "interleaved" if reuse_ratio >= 1.0 else "separated"
+        with rec.span("ico.pack", packing=packing):
+            sched = builder.build_schedule(packing)
+        ico_span.set(spartitions=sched.n_spartitions, packing=packing)
+        rec.count("ico.spartitions", sched.n_spartitions)
     sched.meta["scheduler"] = "ico"
     sched.meta["head"] = head
     sched.meta["reuse_ratio"] = float(reuse_ratio)
@@ -360,6 +377,7 @@ class _IcoBuilder:
 
     def finalize_partitions(self) -> None:
         """Materialize the preamble (if any) and the global adjacency."""
+        current_recorder().count("ico.preamble_vertices", len(self.preamble))
         if self.preamble:
             # Group preamble vertices into independent w-partitions via
             # connected components of their induced subgraph (all belong
@@ -562,6 +580,7 @@ class _IcoBuilder:
                 continue
             in_pool[v] = True
             pool.append(v)
+        current_recorder().count("ico.slack_pooled", len(pool))
         if not pool:
             return
         orig_s = {v: int(self.sp[v]) for v in pool}

@@ -33,6 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.dag import DAG
+from ..obs import current as current_recorder
 from ..sparse.base import INDEX_DTYPE
 from .partition_utils import UnionFind, pack_components, window_components
 from .schedule import FusedSchedule
@@ -62,14 +63,36 @@ def lbc_schedule(
         raise ValueError("lbc_schedule requires a naturally ordered DAG")
     if dag.n == 0:
         return FusedSchedule((0,), [], packing="none")
+    rec = current_recorder()
+    with rec.span("lbc", n=dag.n, r=r) as sp:
+        s_partitions, n_levels = _lbc_partitions(
+            dag, r, initial_cut, coarsening_factor, balance_tolerance
+        )
+        sp.set(levels=n_levels, spartitions=len(s_partitions))
+    rec.count("lbc.levels", n_levels)
+    rec.count("lbc.spartitions", len(s_partitions))
+    sched = FusedSchedule((dag.n,), s_partitions, packing="none")
+    sched.meta["scheduler"] = "lbc"
+    sched.meta["initial_cut"] = initial_cut
+    sched.meta["coarsening_factor"] = coarsening_factor
+    sched.meta["balance_tolerance"] = balance_tolerance
+    return sched
+
+
+def _lbc_partitions(
+    dag: DAG,
+    r: int,
+    initial_cut: int,
+    coarsening_factor: int,
+    balance_tolerance: float,
+) -> tuple[list[list[np.ndarray]], int]:
+    """The LBC window-growing core; returns (s_partitions, n_levels)."""
     wavefronts = dag.wavefronts()
     n_levels = len(wavefronts)
     weights = dag.weights
     total_cost = float(weights.sum())
     cost_cap = total_cost / max(1, initial_cut)
 
-    ptr = dag.indptr
-    idx = dag.indices
     pred_ptr, pred_idx = dag.predecessor_arrays()
 
     member = np.zeros(dag.n, dtype=bool)
@@ -156,9 +179,4 @@ def lbc_schedule(
         member[verts] = False
         lb = ub
 
-    sched = FusedSchedule((dag.n,), s_partitions, packing="none")
-    sched.meta["scheduler"] = "lbc"
-    sched.meta["initial_cut"] = initial_cut
-    sched.meta["coarsening_factor"] = coarsening_factor
-    sched.meta["balance_tolerance"] = balance_tolerance
-    return sched
+    return s_partitions, n_levels

@@ -17,7 +17,6 @@ the whole solve, exactly the paper's iterative-solver argument.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +24,7 @@ import numpy as np
 from ..fusion.fused import FusedLoops, fuse
 from ..kernels import SpMVCSR, SpTRSVCSR
 from ..kernels.base import Kernel, State
+from ..obs import current as current_recorder
 from ..runtime.batched import execute_schedule_batched
 from ..runtime.executor import allocate_state, execute_schedule
 from ..runtime.machine import MachineConfig, SimulatedMachine
@@ -130,14 +130,16 @@ def gauss_seidel(
     low, e = gs_split(a)
     cfg = machine or MachineConfig(n_threads=n_threads)
 
-    t0 = time.perf_counter()
+    rec = current_recorder()
     if method == "parsy":
-        sched = parsy_schedule(kernels, n_threads)
-        inspector = time.perf_counter() - t0
+        with rec.span("gs.schedule", method=method) as sp:
+            sched = parsy_schedule(kernels, n_threads)
+        inspector = sp.seconds
         fused = None
     else:
         scheduler = "ico" if method == "sparse-fusion" else method
-        fused = fuse(kernels, n_threads, scheduler=scheduler, validate=False)
+        with rec.span("gs.schedule", method=method):
+            fused = fuse(kernels, n_threads, scheduler=scheduler, validate=False)
         sched = fused.schedule
         inspector = fused.inspector_seconds
 
@@ -156,17 +158,19 @@ def gauss_seidel(
     iterations = 0
     converged = False
     chunks = 0
-    while iterations < max_iters:
-        execute_schedule_batched(sched, kernels, state)
-        chunks += 1
-        iterations += unroll
-        x = state[x_out]
-        res = float(np.linalg.norm(a.matvec(x) - b)) / b_norm
-        residuals.append(res)
-        if res < tol:
-            converged = True
-            break
-        state[x_in][:] = x
+    with rec.span("gs.solve", method=method, unroll=unroll):
+        while iterations < max_iters:
+            execute_schedule_batched(sched, kernels, state)
+            chunks += 1
+            iterations += unroll
+            x = state[x_out]
+            res = float(np.linalg.norm(a.matvec(x) - b)) / b_norm
+            residuals.append(res)
+            if res < tol:
+                converged = True
+                break
+            state[x_in][:] = x
+        rec.count("gs.chunks", chunks)
     return GSResult(
         x=state[x_out].copy(),
         iterations=iterations,
@@ -233,10 +237,10 @@ def gauss_seidel_simulated(
     """
     kernels, _, _ = build_gs_chain(a, unroll)
     cfg = machine or MachineConfig(n_threads=n_threads)
-    t0 = time.perf_counter()
     if method == "parsy":
-        sched = parsy_schedule(kernels, n_threads)
-        inspector = time.perf_counter() - t0
+        with current_recorder().span("gs.schedule", method=method) as sp:
+            sched = parsy_schedule(kernels, n_threads)
+        inspector = sp.seconds
     else:
         scheduler = "ico" if method == "sparse-fusion" else method
         fused = fuse(kernels, n_threads, scheduler=scheduler, validate=False)

@@ -15,7 +15,6 @@ whole preconditioner path is exactly the code the paper generates.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +22,7 @@ import numpy as np
 from ..fusion.fused import FusedLoops, fuse
 from ..kernels import SpTRSVCSR
 from ..kernels.sptrsv_backward import SpTRSVBackwardCSR
+from ..obs import current as current_recorder
 from ..runtime.executor import allocate_state
 from ..runtime.machine import MachineConfig, SimulatedMachine
 from ..sparse.csr import CSRMatrix
@@ -83,9 +83,9 @@ def pcg_ic0(
     if not a.is_square:
         raise ValueError("PCG requires a square (SPD) matrix")
     b = np.asarray(b, dtype=np.float64)
-    t0 = time.perf_counter()
-    fused, state = build_ic0_preconditioner(a, n_threads, scheduler=scheduler)
-    setup_seconds = time.perf_counter() - t0
+    with current_recorder().span("pcg.setup", scheduler=scheduler) as setup_span:
+        fused, state = build_ic0_preconditioner(a, n_threads, scheduler=scheduler)
+    setup_seconds = setup_span.seconds
     cfg = machine or MachineConfig(n_threads=n_threads)
     precond_seconds = SimulatedMachine(cfg).simulate(
         fused.schedule, fused.kernels

@@ -68,6 +68,53 @@ class TestCommands:
     def test_natural_ordering_flag(self, capsys):
         assert main(["info", "--matrix", "lap2d:6", "--ordering", "natural"]) == 0
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # a dotted version number, from package metadata or the source tree
+        assert out.split()[1][0].isdigit()
+
+    def test_trace_command(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "trace",
+                "--matrix",
+                "lap2d:8",
+                "--combo",
+                "3",
+                "--threads",
+                "4",
+                "--out",
+                str(out),
+                "--jsonl",
+                str(jsonl),
+            ]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "pipeline trace" in text and "ico" in text
+        doc = json.loads(out.read_text())
+        assert {e["pid"] for e in doc["traceEvents"]} == {1, 2}
+        assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+
+    def test_fuse_trace_flag(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "t.json"
+        rc = main(
+            ["fuse", "--matrix", "lap2d:8", "--combo", "1", "--trace", str(out)]
+        )
+        assert rc == 0
+        names = {e["name"] for e in json.loads(out.read_text())["traceEvents"]}
+        assert "ico" in names  # live inspector spans made it into the file
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -67,6 +67,27 @@ class TestGflops:
         g2 = gflops([k], m2.simulate(s, [k]))
         assert g2 == pytest.approx(2 * g1)
 
+    def test_zero_seconds_report_yields_zero(self, lap2d_nd):
+        """A zero-duration report must give 0.0, not inf (inf poisons
+        geomeans and is not JSON-serializable)."""
+        import json
+
+        import numpy as np
+
+        from repro.kernels import SpMVCSR
+        from repro.runtime.machine import MachineReport
+
+        k = SpMVCSR(lap2d_nd)
+        report = MachineReport(
+            total_cycles=0.0,
+            spartition_cycles=[],
+            busy_cycles=np.zeros((0, 1)),
+            n_barriers=0,
+        )
+        g = gflops([k], report)
+        assert g == 0.0
+        json.dumps(g)  # finite => serializable
+
 
 class TestUtils:
     def test_timer_measures(self):

@@ -1,0 +1,195 @@
+"""Exporters: JSONL event log, unified Perfetto trace, console summary,
+Prometheus text, benchmark stage breakdown."""
+
+import json
+
+import pytest
+
+from repro import fuse
+from repro.fusion import build_combination
+from repro.obs import (
+    Recorder,
+    export_jsonl,
+    export_perfetto,
+    export_prometheus,
+    format_summary,
+    recording,
+    stage_breakdown,
+)
+from repro.runtime import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def traced_fuse(lap2d_nd):
+    """One recorded fuse() of TRSV-MV: (recorder, fused_loops, kernels)."""
+    kernels, _ = build_combination(3, lap2d_nd)
+    rec = Recorder()
+    with recording(rec):
+        fl = fuse(kernels, 4)
+    return rec, fl, kernels
+
+
+class TestJsonl:
+    def test_every_line_is_json(self, traced_fuse, tmp_path):
+        rec, _, _ = traced_fuse
+        path = export_jsonl(rec, tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == len(rec.spans) + len(rec.events) + len(
+            rec.counters
+        )
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "event", "counter"}
+
+    def test_span_records_are_ordered_and_complete(self, traced_fuse, tmp_path):
+        rec, _, _ = traced_fuse
+        path = export_jsonl(rec, tmp_path / "events.jsonl")
+        spans = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        starts = [s["start"] for s in spans]
+        assert starts == sorted(starts)
+        names = {s["name"] for s in spans}
+        assert "inspector" in names and "ico" in names
+        for s in spans:
+            assert s["seconds"] >= 0
+            assert {"span_id", "depth", "thread_id", "attrs"} <= set(s)
+
+
+class TestPerfetto:
+    def test_unified_trace_has_both_processes(self, traced_fuse, tmp_path):
+        rec, fl, kernels = traced_fuse
+        path = export_perfetto(
+            rec,
+            tmp_path / "trace.json",
+            schedule=fl.schedule,
+            kernels=kernels,
+            config=MachineConfig(n_threads=4),
+        )
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {1, 2}
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names == {"inspector (wall clock)", "executor (simulated)"}
+
+    def test_inspector_stage_spans_present(self, traced_fuse, tmp_path):
+        rec, fl, kernels = traced_fuse
+        path = export_perfetto(
+            rec,
+            tmp_path / "trace.json",
+            schedule=fl.schedule,
+            kernels=kernels,
+            config=MachineConfig(n_threads=4),
+        )
+        doc = json.loads(path.read_text())
+        live = {
+            e["name"]
+            for e in doc["traceEvents"]
+            if e["pid"] == 1 and e["ph"] == "X"
+        }
+        for stage in (
+            "ico.lbc_head",
+            "ico.pairing",
+            "ico.merge",
+            "ico.slack_balance",
+            "ico.pack",
+        ):
+            assert stage in live, stage
+
+    def test_executor_wpartition_slices_present(self, traced_fuse, tmp_path):
+        rec, fl, kernels = traced_fuse
+        path = export_perfetto(
+            rec,
+            tmp_path / "trace.json",
+            schedule=fl.schedule,
+            kernels=kernels,
+            config=MachineConfig(n_threads=4),
+        )
+        doc = json.loads(path.read_text())
+        sim = [
+            e
+            for e in doc["traceEvents"]
+            if e["pid"] == 2 and e["ph"] == "X"
+        ]
+        n_wparts = sum(len(wl) for wl in fl.schedule.s_partitions)
+        slices = [e for e in sim if e["cat"] == "wpartition"]
+        assert len(slices) == n_wparts
+        assert all(e["name"].startswith("s") and "/w" in e["name"] for e in slices)
+        assert doc["otherData"]["total_simulated_us"] > 0
+        # simulated timeline starts after the live spans end
+        live_end = max(
+            e["ts"] + e["dur"]
+            for e in doc["traceEvents"]
+            if e["pid"] == 1 and e["ph"] == "X"
+        )
+        assert all(e["ts"] >= live_end for e in sim)
+
+    def test_live_only_trace_without_schedule(self, traced_fuse, tmp_path):
+        rec, _, _ = traced_fuse
+        path = export_perfetto(rec, tmp_path / "live.json")
+        doc = json.loads(path.read_text())
+        assert {e["pid"] for e in doc["traceEvents"]} == {1}
+        assert doc["otherData"]["total_simulated_us"] == 0.0
+        assert doc["otherData"]["live_spans"] == len(rec.spans)
+
+
+class TestSummaryAndPrometheus:
+    def test_summary_lists_spans_and_counters(self, traced_fuse):
+        rec, _, _ = traced_fuse
+        text = format_summary(rec, title="t")
+        assert "inspector" in text and "ico" in text
+        assert "ico.vertices" in text
+        assert "%" in text
+
+    def test_summary_empty_recorder(self):
+        assert "(no spans recorded)" in format_summary(Recorder())
+
+    def test_prometheus_exposition(self, traced_fuse, tmp_path):
+        rec, _, _ = traced_fuse
+        out = tmp_path / "metrics.prom"
+        text = export_prometheus(rec, out)
+        assert out.read_text() == text
+        assert '# TYPE repro_span_seconds_total counter' in text
+        assert 'repro_span_seconds_total{span="ico"}' in text
+        assert 'repro_counter_total{counter="ico.vertices"}' in text
+        # every sample line parses as name{labels} value
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert "{" in name and name.endswith('"}')
+
+
+class TestStageBreakdown:
+    def test_totals_by_span_name(self, traced_fuse):
+        rec, _, _ = traced_fuse
+        bd = stage_breakdown(rec)
+        assert bd["inspector"] == pytest.approx(rec.total_seconds("inspector"))
+        assert set(stage_breakdown(rec, "ico")) == {
+            n for n in bd if n.startswith("ico")
+        }
+        assert all(v >= 0 for v in bd.values())
+
+    def test_benchmark_helper_shape(self, lap2d_nd):
+        import pathlib
+        import sys
+
+        sys.path.insert(
+            0, str(pathlib.Path(__file__).parent.parent / "benchmarks")
+        )
+        try:
+            from common import measure_stage_breakdown
+        finally:
+            sys.path.pop(0)
+        kernels, _ = build_combination(3, lap2d_nd)
+        bd = measure_stage_breakdown(kernels, 4)
+        assert "inspector" in bd and "ico.lbc_head" in bd
+        assert json.loads(json.dumps(bd)) == bd  # JSON-serializable

@@ -1,0 +1,77 @@
+"""profile_schedule / format_profile on degenerate schedules.
+
+The profiler backs the CLI and the trace summary, so it must not choke
+on schedules at the edges of the representation: s-partitions with no
+w-partitions, empty w-partitions, and single-vertex schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import SpMVCSR
+from repro.runtime.profiling import format_profile, profile_schedule
+from repro.schedule import FusedSchedule
+from repro.sparse import laplacian_2d
+
+
+@pytest.fixture(scope="module")
+def spmv_kernel():
+    return SpMVCSR(laplacian_2d(3))  # n = 9
+
+
+class TestEmptySPartition:
+    def test_profile_tolerates_empty_spartition(self, spmv_kernel):
+        n = spmv_kernel.n_iterations
+        sched = FusedSchedule(
+            (n,), [[np.arange(n, dtype=np.int64)], []]
+        )
+        prof = profile_schedule(sched, [spmv_kernel])
+        assert prof.n_spartitions == 2
+        assert prof.n_barriers == 1
+        assert prof.widths == [1, 0]
+        assert prof.span_costs[1] == 0.0
+        assert prof.imbalance[1] == 1.0
+        assert prof.span == pytest.approx(prof.total_cost)
+
+    def test_format_tolerates_empty_spartition(self, spmv_kernel):
+        n = spmv_kernel.n_iterations
+        sched = FusedSchedule((n,), [[], [np.arange(n, dtype=np.int64)]])
+        text = format_profile(profile_schedule(sched, [spmv_kernel]))
+        assert "s-partitions : 2" in text
+
+    def test_empty_wpartition_inside_spartition(self, spmv_kernel):
+        n = spmv_kernel.n_iterations
+        sched = FusedSchedule(
+            (n,),
+            [[np.arange(n, dtype=np.int64), np.array([], dtype=np.int64)]],
+        )
+        prof = profile_schedule(sched, [spmv_kernel])
+        assert prof.widths == [2]
+        # the empty w-partition contributes zero cost but inflates the
+        # max/mean imbalance (one thread idle)
+        assert prof.imbalance[0] == pytest.approx(2.0)
+
+
+class TestSingleVertex:
+    def test_single_vertex_schedule(self):
+        k = SpMVCSR(laplacian_2d(1))  # 1x1 matrix, one iteration
+        sched = FusedSchedule((1,), [[np.array([0], dtype=np.int64)]])
+        prof = profile_schedule(sched, [k])
+        assert prof.n_vertices == 1
+        assert prof.n_barriers == 0
+        assert prof.parallelism_bound == pytest.approx(1.0)
+        assert prof.mean_imbalance == pytest.approx(1.0)
+        text = format_profile(prof, name="tiny")
+        assert "tiny: 1 iterations" in text
+        assert "parallelism bound 1.0x" in text
+
+    def test_all_empty_schedule_properties(self):
+        sched = FusedSchedule((0,), [])
+        k = SpMVCSR(laplacian_2d(1))
+        prof = profile_schedule(sched, [k])
+        assert prof.n_spartitions == 0
+        assert prof.span == 0.0
+        assert prof.parallelism_bound == 1.0
+        assert prof.mean_width == 0.0
+        assert prof.mean_imbalance == 1.0
+        assert "max 0" in format_profile(prof)
