@@ -148,16 +148,40 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _execute_with(executor, schedule, kernels, state, min_batch):
+    """Run *schedule* under the named executor; returns wall seconds."""
+    import time
+
+    from .runtime import (
+        execute_schedule,
+        execute_schedule_batched,
+        execute_schedule_planned,
+    )
+
+    t0 = time.perf_counter()
+    if executor == "plan":
+        execute_schedule_planned(schedule, kernels, state, min_batch=min_batch)
+    elif executor == "batched":
+        execute_schedule_batched(schedule, kernels, state, min_batch=min_batch)
+    else:
+        execute_schedule(schedule, kernels, state)
+    return time.perf_counter() - t0
+
+
 def _cmd_fuse(args) -> int:
     a = _load(args)
-    kernels, _ = build_combination(args.combo, a)
+    kernels, state = build_combination(args.combo, a)
     rec, ctx = _start_recording(args)
     with ctx:
         fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+        executed = _execute_with(
+            args.executor, fl.schedule, kernels, state, args.min_batch
+        )
     combo = COMBINATIONS[args.combo]
     print(f"combination {args.combo} ({combo.name}): {combo.operations}")
     print(f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing")
     print(f"inspector   {fl.inspector_seconds * 1e3:.1f} ms")
+    print(f"executed    {executed * 1e3:.1f} ms ({args.executor} executor)")
     print(format_profile(profile_schedule(fl.schedule, kernels)))
     if args.save:
         fp = pattern_fingerprint(*(k.intra_dag() for k in kernels))
@@ -170,11 +194,18 @@ def _cmd_fuse(args) -> int:
 
 def _cmd_compare(args) -> int:
     a = _load(args)
-    kernels, _ = build_combination(args.combo, a)
+    kernels, state = build_combination(args.combo, a)
     cfg = MachineConfig(n_threads=args.threads)
     rec, ctx = _start_recording(args)
     with ctx:
         results = compare_implementations(kernels, args.threads, cfg)
+        executed = _execute_with(
+            args.executor,
+            results["sparse-fusion"].schedule,
+            kernels,
+            state,
+            args.min_batch,
+        )
     print(f"{'implementation':16s} {'GFLOP/s':>8s} {'sim time':>10s} "
           f"{'barriers':>8s} {'inspect':>9s}")
     for name, res in sorted(
@@ -186,6 +217,10 @@ def _cmd_compare(args) -> int:
             f"{res.schedule.n_spartitions:8d} "
             f"{res.inspector_seconds * 1e3:7.1f}ms"
         )
+    print(
+        f"sparse-fusion schedule executed in {executed * 1e3:.1f} ms "
+        f"({args.executor} executor)"
+    )
     if rec is not None:
         sched = results["sparse-fusion"].schedule
         _write_unified_trace(rec, args.trace, sched, kernels, args.threads)
@@ -208,6 +243,8 @@ def _cmd_gs(args) -> int:
             unroll=args.unroll,
             method=args.method,
             n_threads=args.threads,
+            executor=args.executor,
+            min_batch=args.min_batch,
         )
     status = "converged" if res.converged else "NOT converged"
     print(
@@ -259,7 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def common(sp, *, trace=False):
+    def common(sp, *, trace=False, executor=False):
         sp.add_argument("--matrix", default="lap3d:10", help="matrix spec")
         sp.add_argument(
             "--ordering",
@@ -274,13 +311,28 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="PATH",
                 help="record the run; write a unified Perfetto trace to PATH",
             )
+        if executor:
+            sp.add_argument(
+                "--executor",
+                default="batched",
+                choices=("iter", "batched", "plan"),
+                help="schedule executor: per-iteration oracle, vectorized "
+                "batches, or compiled level-batched plan",
+            )
+            sp.add_argument(
+                "--min-batch",
+                type=int,
+                default=4,
+                help="group size below which iterations run scalar "
+                "(see repro.runtime.batched for the tradeoff)",
+            )
 
     sp = sub.add_parser("info", help="matrix and DAG statistics")
     common(sp)
     sp.set_defaults(fn=_cmd_info)
 
     sp = sub.add_parser("fuse", help="fuse one Table 1 combination")
-    common(sp, trace=True)
+    common(sp, trace=True, executor=True)
     sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
     sp.add_argument(
         "--scheduler",
@@ -291,12 +343,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=_cmd_fuse)
 
     sp = sub.add_parser("compare", help="compare all implementations")
-    common(sp, trace=True)
+    common(sp, trace=True, executor=True)
     sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
     sp.set_defaults(fn=_cmd_compare)
 
     sp = sub.add_parser("gs", help="fused Gauss-Seidel solve")
-    common(sp, trace=True)
+    common(sp, trace=True, executor=True)
     sp.add_argument("--unroll", type=int, default=2)
     sp.add_argument("--tol", type=float, default=1e-8)
     sp.add_argument("--max-iters", type=int, default=2000)

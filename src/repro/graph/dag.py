@@ -54,6 +54,7 @@ class DAG:
         "_levels",
         "_heights",
         "_topo",
+        "_wavefronts",
     )
 
     def __init__(self, n: int, indptr, indices, weights=None, *, check: bool = True):
@@ -89,6 +90,7 @@ class DAG:
         self._levels = None
         self._heights = None
         self._topo = None
+        self._wavefronts = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -299,12 +301,23 @@ class DAG:
         return self.n_wavefronts
 
     def wavefronts(self) -> list[np.ndarray]:
-        """Vertices grouped by level, each group sorted ascending."""
-        lv = self.levels()
-        order = np.argsort(lv, kind="stable")
-        sorted_lv = lv[order]
-        boundaries = np.nonzero(np.diff(sorted_lv))[0] + 1
-        return [np.sort(g) for g in np.split(order, boundaries)] if self.n else []
+        """Vertices grouped by level, each group sorted ascending.
+
+        Memoized like :meth:`levels`: the wavefront scheduler, the plan
+        compiler and the metrics all ask repeatedly. Callers must not
+        mutate the returned arrays.
+        """
+        if self._wavefronts is None:
+            lv = self.levels()
+            order = np.argsort(lv, kind="stable")
+            sorted_lv = lv[order]
+            boundaries = np.nonzero(np.diff(sorted_lv))[0] + 1
+            self._wavefronts = (
+                [np.sort(g) for g in np.split(order, boundaries)]
+                if self.n
+                else []
+            )
+        return self._wavefronts
 
     def slack_numbers(self) -> np.ndarray:
         """Per-vertex slack ``SN(v) = (P_G - 1) - l(v) - height(v)``.

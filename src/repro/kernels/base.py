@@ -117,6 +117,45 @@ class Kernel(abc.ABC):
         for i in np.asarray(iters).tolist():
             self.run_iteration(i, state, scratch)
 
+    #: True when :meth:`run_level_batch` can execute a set of *mutually
+    #: independent* iterations (one intra-DAG level, or any independent
+    #: set) in one vectorized call. Unlike :attr:`supports_batch` this
+    #: does NOT require an empty intra-DAG — it is how kernels with
+    #: loop-carried dependences join the compiled-plan fast path
+    #: (:mod:`repro.runtime.plan`).
+    supports_level_batch: bool = False
+
+    def precompute_level(self, iters: np.ndarray) -> Any:
+        """Build the reusable per-level precomputation for *iters*.
+
+        Called once at plan-compile time with the iterations of one
+        level batch; whatever it returns is handed back verbatim to
+        every subsequent :meth:`run_level_batch` call for that level
+        (typically concatenated gather/scatter index arrays and
+        ``np.add.reduceat`` segment boundaries). The default returns
+        ``None``.
+        """
+        return None
+
+    def run_level_batch(
+        self,
+        iters: np.ndarray,
+        state: State,
+        precomp: Any = None,
+        scratch: Any = None,
+    ) -> None:
+        """Execute the mutually independent iterations *iters* at once.
+
+        *iters* must be an antichain of the intra-DAG (no dependence
+        between any two of them) whose predecessors have all executed —
+        exactly what one w-partition ∩ level set of a valid schedule
+        provides. *precomp* is the value returned by
+        :meth:`precompute_level` for the same *iters*. The default falls
+        back to per-iteration execution.
+        """
+        for i in np.asarray(iters).tolist():
+            self.run_iteration(i, state, scratch)
+
     # ------------------------------------------------------------------
     # Fused-code generation (Sec. 2.3; see repro.fusion.codegen)
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ class DScalCSR(Kernel):
 
     name = "DSCAL-CSR"
     supports_batch = True
+    supports_level_batch = True
 
     def __init__(self, a: CSRMatrix, *, a_var="Ax", s_var="Sx"):
         if not a.is_square:
@@ -82,6 +83,28 @@ class DScalCSR(Kernel):
         di = np.repeat(1.0 / np.sqrt(ax[self._diag_pos[iters]]), counts)
         dj = 1.0 / np.sqrt(ax[self._diag_pos[self.a.indices[gather]]])
         state[self.s_var][gather] = ax[gather] * di * dj
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.a.indptr[iters]
+        counts = self.a.indptr[iters + 1] - starts
+        gather = multi_range(starts, counts)
+        return {
+            "gather": gather,
+            "own_diag": self._diag_pos[iters],
+            "col_diag": self._diag_pos[self.a.indices[gather]],
+            "counts": counts,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        ax = state[self.a_var]
+        di = np.repeat(1.0 / np.sqrt(ax[p["own_diag"]]), p["counts"])
+        dj = 1.0 / np.sqrt(ax[p["col_diag"]])
+        state[self.s_var][p["gather"]] = ax[p["gather"]] * di * dj
 
     def run_reference(self, state: State) -> None:
         ax = state[self.a_var]
@@ -157,6 +180,7 @@ class DScalCSC(Kernel):
 
     name = "DSCAL-CSC"
     supports_batch = True
+    supports_level_batch = True
 
     def __init__(self, low: CSCMatrix, *, a_var="Alow", s_var="Slow"):
         if not low.is_square or not low.is_lower_triangular():
@@ -204,6 +228,28 @@ class DScalCSC(Kernel):
         dj = np.repeat(1.0 / np.sqrt(ax[self._diag_pos[iters]]), counts)
         di = 1.0 / np.sqrt(ax[self._diag_pos[self.low.indices[gather]]])
         state[self.s_var][gather] = ax[gather] * dj * di
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.low.indptr[iters]
+        counts = self.low.indptr[iters + 1] - starts
+        gather = multi_range(starts, counts)
+        return {
+            "gather": gather,
+            "own_diag": self._diag_pos[iters],
+            "row_diag": self._diag_pos[self.low.indices[gather]],
+            "counts": counts,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        ax = state[self.a_var]
+        dj = np.repeat(1.0 / np.sqrt(ax[p["own_diag"]]), p["counts"])
+        di = 1.0 / np.sqrt(ax[p["row_diag"]])
+        state[self.s_var][p["gather"]] = ax[p["gather"]] * dj * di
 
     def run_reference(self, state: State) -> None:
         ax = state[self.a_var]

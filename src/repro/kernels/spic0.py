@@ -44,6 +44,7 @@ class SpIC0(Kernel):
     """
 
     name = "SpIC0-CSC"
+    supports_level_batch = True
 
     def __init__(self, low: CSCMatrix, *, a_var="Alow", l_var="Lx"):
         if not low.is_square or not low.is_lower_triangular():
@@ -81,6 +82,7 @@ class SpIC0(Kernel):
             starts[t] = klo + np.searchsorted(low.indices[klo:khi], jj)
         self._tail_starts = starts
         self._costs = None
+        self._key_arr: np.ndarray | None = None
 
     @property
     def n_iterations(self) -> int:
@@ -123,6 +125,78 @@ class SpIC0(Kernel):
             k = self._row_cols[t]
             s, khi = self._tail_starts[t], indptr[k + 1]
             work[indices[s:khi]] = 0.0
+
+    def _pattern_keys(self) -> np.ndarray:
+        """Flat ``col * n + row`` key per data position — ascending for a
+        sorted CSC pattern, so ``searchsorted`` maps (row, col) pairs to
+        data positions in one vectorized shot."""
+        if self._key_arr is None:
+            n = self.low.n_cols
+            cols = np.repeat(
+                np.arange(n, dtype=np.int64), self.low.col_nnz()
+            )
+            self._key_arr = cols * n + self.low.indices.astype(np.int64)
+        return self._key_arr
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        indptr, indices = self.low.indptr, self.low.indices
+        starts = indptr[iters]
+        counts = indptr[iters + 1] - starts
+        # Update triples (target, source, multiplier) for every pair
+        # (j, k) of a level column j and finished column k: the update
+        # tail of column k intersected with column j's pattern (zero-fill
+        # drops the rest, exactly as the scalar path's dense scratch does).
+        tcounts = self._row_ptr[iters + 1] - self._row_ptr[iters]
+        tsel = multi_range(self._row_ptr[iters], tcounts)
+        ks = self._row_cols[tsel]
+        tails = indptr[ks + 1] - self._tail_starts[tsel]
+        src = multi_range(self._tail_starts[tsel], tails)
+        j_exp = np.repeat(np.repeat(iters, tcounts), tails)
+        ljk = np.repeat(self._row_pos[tsel], tails)
+        keys = self._pattern_keys()
+        cand = j_exp.astype(np.int64) * self.low.n_cols + indices[src].astype(
+            np.int64
+        )
+        pos = np.searchsorted(keys, cand)
+        safe = np.minimum(pos, max(keys.shape[0] - 1, 0))
+        ok = (pos < keys.shape[0]) & (keys[safe] == cand)
+        return {
+            "colranges": multi_range(starts, counts),
+            "diag": starts,
+            "offdiag": multi_range(starts + 1, counts - 1),
+            "off_counts": counts - 1,
+            "tgt": pos[ok].astype(INDEX_DTYPE),
+            "src": src[ok],
+            "ljk": ljk[ok],
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        a = state[self.a_var]
+        lx = state[self.l_var]
+        cr = p["colranges"]
+        lx[cr] = a[cr]
+        if p["tgt"].shape[0]:
+            # Triples are ordered (column, pair, tail position) — the
+            # scalar accumulation order — and np.add.at is unbuffered, so
+            # repeated targets accumulate bitwise-identically. Sources
+            # live in earlier levels; no read/write overlap.
+            np.add.at(lx, p["tgt"], -(lx[p["ljk"]] * lx[p["src"]]))
+        pivots = lx[p["diag"]]
+        bad = np.nonzero(pivots <= 0.0)[0]
+        if bad.shape[0]:
+            j = int(iters[bad[0]])
+            raise ValueError(
+                f"IC0 breakdown at column {j}: pivot {pivots[bad[0]]} <= 0"
+            )
+        d = np.sqrt(pivots)
+        lx[p["diag"]] = d
+        if p["offdiag"].shape[0]:
+            lx[p["offdiag"]] /= np.repeat(d, p["off_counts"])
 
     def run_reference(self, state: State) -> None:
         from ..sparse.factor import ic0_csc

@@ -43,6 +43,7 @@ class SpMVCSR(Kernel):
 
     name = "SpMV-CSR"
     supports_batch = True
+    supports_level_batch = True
 
     def __init__(self, a: CSRMatrix, *, a_var="Ax", x_var="x", y_var="y", add_var=None):
         self.a = a
@@ -82,6 +83,36 @@ class SpMVCSR(Kernel):
         cols = self.a.indices[gather]
         prods = state[self.a_var][gather] * state[self.x_var][cols]
         out = segment_sums(prods, counts)
+        if self.add_var is not None:
+            out = out + state[self.add_var][iters]
+        state[self.y_var][iters] = out
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range, segment_boundaries
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.a.indptr[iters]
+        counts = self.a.indptr[iters + 1] - starts
+        gather = multi_range(starts, counts)
+        reduce_starts, nonempty = segment_boundaries(counts)
+        return {
+            "gather": gather,
+            "cols": self.a.indices[gather],
+            "reduce_starts": reduce_starts,
+            "nonempty": nonempty,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        from ..utils.arrays import segment_sums_at
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        out = segment_sums_at(
+            state[self.a_var][p["gather"]] * state[self.x_var][p["cols"]],
+            iters.shape[0],
+            p["reduce_starts"],
+            p["nonempty"],
+        )
         if self.add_var is not None:
             out = out + state[self.add_var][iters]
         state[self.y_var][iters] = out
@@ -196,6 +227,7 @@ class SpMVCSC(Kernel):
     name = "SpMV-CSC"
     needs_atomic = True
     supports_batch = True
+    supports_level_batch = True
 
     def __init__(self, a: CSCMatrix, *, a_var="Ax", x_var="x", y_var="y"):
         self.a = a
@@ -237,6 +269,27 @@ class SpMVCSC(Kernel):
         # unbuffered accumulation: overlapping rows within the batch sum
         # correctly (the vectorized analogue of the paper's Atomic)
         np.add.at(state[self.y_var], rows, state[self.a_var][gather] * xj)
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.a.indptr[iters]
+        counts = self.a.indptr[iters + 1] - starts
+        gather = multi_range(starts, counts)
+        return {
+            "gather": gather,
+            "rows": self.a.indices[gather],
+            "counts": counts,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        xj = np.repeat(state[self.x_var][iters], p["counts"])
+        np.add.at(
+            state[self.y_var], p["rows"], state[self.a_var][p["gather"]] * xj
+        )
 
     def run_reference(self, state: State) -> None:
         mat = CSCMatrix(

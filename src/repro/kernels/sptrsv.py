@@ -43,6 +43,7 @@ class SpTRSVCSR(Kernel):
     """
 
     name = "SpTRSV-CSR"
+    supports_level_batch = True
 
     def __init__(self, low: CSRMatrix, *, l_var="Lx", b_var="b", x_var="x"):
         if not low.is_square or not low.is_lower_triangular():
@@ -79,6 +80,37 @@ class SpTRSVCSR(Kernel):
         x = state[self.x_var]
         acc = state[self.b_var][i] - np.dot(lx[lo : hi - 1], x[cols])
         x[i] = acc / lx[hi - 1]
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range, segment_boundaries
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.low.indptr[iters]
+        counts = self.low.indptr[iters + 1] - starts - 1  # off-diagonals
+        gather = multi_range(starts, counts)
+        reduce_starts, nonempty = segment_boundaries(counts)
+        return {
+            "gather": gather,
+            "cols": self.low.indices[gather],
+            "diag": self.low.indptr[iters + 1] - 1,
+            "reduce_starts": reduce_starts,
+            "nonempty": nonempty,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        from ..utils.arrays import segment_sums_at
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        lx = state[self.l_var]
+        x = state[self.x_var]
+        sums = segment_sums_at(
+            lx[p["gather"]] * x[p["cols"]],
+            iters.shape[0],
+            p["reduce_starts"],
+            p["nonempty"],
+        )
+        x[iters] = (state[self.b_var][iters] - sums) / lx[p["diag"]]
 
     def run_reference(self, state: State) -> None:
         from scipy.sparse.linalg import spsolve_triangular
@@ -190,6 +222,7 @@ class SpTRSVCSC(Kernel):
 
     name = "SpTRSV-CSC"
     needs_atomic = True
+    supports_level_batch = True
 
     def __init__(self, low: CSCMatrix, *, l_var="Lx", b_var="b", x_var="x"):
         if not low.is_square or not low.is_lower_triangular():
@@ -230,6 +263,33 @@ class SpTRSVCSC(Kernel):
         rows = self.low.indices[lo + 1 : hi]
         if rows.shape[0]:
             acc[rows] += lx[lo + 1 : hi] * xj
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.low.indptr[iters]
+        counts = self.low.indptr[iters + 1] - starts - 1  # sub-diagonals
+        gather = multi_range(starts + 1, counts)
+        return {
+            "diag": starts,
+            "gather": gather,
+            "rows": self.low.indices[gather],
+            "counts": counts,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        lx = state[self.l_var]
+        acc = state[self.acc_var]
+        # Same-level columns never read each other's accumulator slots
+        # (that would be an intra-DAG edge), so finalizing every x first
+        # and scattering afterwards is safe.
+        xj = (state[self.b_var][iters] - acc[iters]) / lx[p["diag"]]
+        state[self.x_var][iters] = xj
+        if p["gather"].shape[0]:
+            np.add.at(acc, p["rows"], lx[p["gather"]] * np.repeat(xj, p["counts"]))
 
     def run_reference(self, state: State) -> None:
         from scipy.sparse.linalg import spsolve_triangular
@@ -347,6 +407,7 @@ class SpTRSVCSRFromLU(Kernel):
     """
 
     name = "SpTRSV-CSR-fromLU"
+    supports_level_batch = True
 
     def __init__(self, a: CSRMatrix, *, lu_var="LUx", b_var="b", x_var="x"):
         if not a.is_square:
@@ -381,6 +442,36 @@ class SpTRSVCSRFromLU(Kernel):
         state[self.x_var][i] = state[self.b_var][i] - np.dot(
             lu[lo:di], state[self.x_var][cols]
         )
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range, segment_boundaries
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        starts = self.a.indptr[iters]
+        counts = self._diag_off[iters] - starts  # strict-lower entries
+        gather = multi_range(starts, counts)
+        reduce_starts, nonempty = segment_boundaries(counts)
+        return {
+            "gather": gather,
+            "cols": self.a.indices[gather],
+            "reduce_starts": reduce_starts,
+            "nonempty": nonempty,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        from ..utils.arrays import segment_sums_at
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        lu = state[self.lu_var]
+        x = state[self.x_var]
+        sums = segment_sums_at(
+            lu[p["gather"]] * x[p["cols"]],
+            iters.shape[0],
+            p["reduce_starts"],
+            p["nonempty"],
+        )
+        x[iters] = state[self.b_var][iters] - sums
 
     def run_reference(self, state: State) -> None:
         x = state[self.x_var]

@@ -41,6 +41,7 @@ class SpTRSVBackwardCSR(Kernel):
 
     name = "SpTRSV-backward-CSR"
     needs_atomic = True
+    supports_level_batch = True
 
     def __init__(self, low: CSRMatrix, *, l_var="Lx", b_var="b", x_var="x"):
         if not low.is_square or not low.is_lower_triangular():
@@ -96,6 +97,33 @@ class SpTRSVBackwardCSR(Kernel):
         cols = self.low.indices[lo : hi - 1]
         if cols.shape[0]:
             acc[cols] += lx[lo : hi - 1] * xj
+
+    def precompute_level(self, iters: np.ndarray):
+        from ..utils.arrays import multi_range
+
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        rows = self.low.n_rows - 1 - iters
+        starts = self.low.indptr[rows]
+        counts = self.low.indptr[rows + 1] - starts - 1  # strict-lower
+        gather = multi_range(starts, counts)
+        return {
+            "rows": rows,
+            "diag": self.low.indptr[rows + 1] - 1,
+            "gather": gather,
+            "cols": self.low.indices[gather],
+            "counts": counts,
+        }
+
+    def run_level_batch(self, iters, state: State, precomp=None, scratch=None) -> None:
+        iters = np.asarray(iters, dtype=INDEX_DTYPE)
+        p = precomp if precomp is not None else self.precompute_level(iters)
+        lx = state[self.l_var]
+        acc = state[self.acc_var]
+        rows = p["rows"]
+        xj = (state[self.b_var][rows] - acc[rows]) / lx[p["diag"]]
+        state[self.x_var][rows] = xj
+        if p["gather"].shape[0]:
+            np.add.at(acc, p["cols"], lx[p["gather"]] * np.repeat(xj, p["counts"]))
 
     def run_reference(self, state: State) -> None:
         from scipy.sparse.linalg import spsolve_triangular

@@ -4,6 +4,13 @@ from .cache import AddressSpace, CacheConfig, LRUCache, ThreadCache
 from .batched import execute_schedule_batched
 from .executor import allocate_state, execute_schedule, run_reference
 from .machine import MachineConfig, MachineReport, SimulatedMachine
+from .plan import (
+    ExecutionPlan,
+    PlanStep,
+    compile_plan,
+    execute_schedule_planned,
+    plan_for,
+)
 from .profiling import ScheduleProfile, format_profile, profile_schedule
 from .metrics import (
     average_memory_latency,
@@ -24,6 +31,11 @@ __all__ = [
     "allocate_state",
     "execute_schedule",
     "execute_schedule_batched",
+    "execute_schedule_planned",
+    "ExecutionPlan",
+    "PlanStep",
+    "compile_plan",
+    "plan_for",
     "run_reference",
     "MachineConfig",
     "MachineReport",

@@ -40,9 +40,23 @@ def execute_schedule_batched(
 ) -> State:
     """Execute *schedule* with vectorized batches where kernels allow.
 
-    Semantics match :func:`repro.runtime.executor.execute_schedule`;
+    Semantics match :func:`repro.runtime.executor.execute_schedule`.
+
     ``min_batch`` is the run length below which the per-iteration path
-    is cheaper than batch setup.
+    is used instead of a vectorized batch. The tradeoff: every batch
+    pays a fixed setup cost (``np.asarray`` conversions, index-array
+    construction, ufunc dispatch — several microseconds regardless of
+    size), while each scalar iteration pays only a Python call. Below
+    roughly 4 iterations the setup dominates and batching *loses*;
+    past a few dozen the per-element amortization wins by an order of
+    magnitude. Raise ``min_batch`` on machines with slow ufunc dispatch
+    or for schedules whose runs are mostly tiny (deep, narrow DAGs);
+    lower it to 2 when runs are rare but the kernel's batch path is
+    cheap (pure gathers, no scatter). ``min_batch=1`` effectively forces
+    batching everywhere and is mainly useful for testing the batch
+    paths. Both the CLI (``--min-batch``) and the executor benchmark
+    (``benchmarks/bench_executor_plans.py --min-batch``) expose the
+    knob so the crossover can be measured rather than guessed.
     """
     if len(kernels) != len(schedule.loop_counts):
         raise ValueError(

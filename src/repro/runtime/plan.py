@@ -1,0 +1,283 @@
+"""Compiled execution plans: level-batched vectorized schedule execution.
+
+The batched executor (:mod:`repro.runtime.batched`) only vectorizes
+kernels with an *empty* intra-DAG, so dependence-carrying kernels —
+SpTRSV, SpIC0, SpILU0, the very loops the paper fuses — fall back to
+per-iteration Python. This module removes that limit by compiling a
+:class:`~repro.schedule.schedule.FusedSchedule` plus its kernel list
+*once* into a flat, array-backed :class:`ExecutionPlan`:
+
+* Within every w-partition, iterations are regrouped by loop (ascending
+  program order) and each dependence-carrying group is split into
+  **intra-DAG level sets** — antichains whose members are mutually
+  independent and may therefore execute as one vectorized
+  :meth:`~repro.kernels.base.Kernel.run_level_batch` call.
+* Per level, the kernel's :meth:`~repro.kernels.base.Kernel.precompute_level`
+  builds the concatenated gather/scatter index arrays and
+  ``np.add.reduceat`` segment boundaries up front, so executing the plan
+  does no index arithmetic at all — only gathers, segment reductions and
+  scatters.
+* The plan is memoized on ``schedule.meta`` (:func:`plan_for`), so
+  repeated executions of the same schedule — Gauss-Seidel sweeps,
+  preconditioner applications inside a Krylov loop, benchmark reps —
+  skip compilation entirely. Counters ``plan.cache_hits`` /
+  ``plan.cache_misses`` and the ``plan.compile_seconds`` counter under
+  :mod:`repro.obs` make the amortization visible.
+
+Legality of the regrouping (see docs/performance.md for the full
+argument): within a w-partition, (a) inter-loop dependences only flow
+from a lower to a higher loop index, because the inspector builds ``F``
+for ordered loop pairs only, so running complete loop groups in
+ascending program order satisfies them; (b) intra-loop dependences
+always increase the intra-DAG level, so ascending level order satisfies
+them and same-level iterations form an antichain; (c) dependences whose
+source lies in a *different* w-partition come from an earlier
+s-partition by the :func:`~repro.schedule.schedule.validate_schedule`
+dependence rule, and s-partitions stay sequential.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..kernels.base import Kernel, State
+from ..obs import current as current_recorder
+from ..schedule.schedule import FusedSchedule
+
+__all__ = [
+    "PlanStep",
+    "ExecutionPlan",
+    "compile_plan",
+    "plan_for",
+    "execute_schedule_planned",
+]
+
+_PLAN_CACHE_KEY = "_execution_plans"
+
+
+@dataclass
+class PlanStep:
+    """One dispatch of the compiled plan.
+
+    ``kind`` is ``"level"`` (vectorized antichain via
+    ``run_level_batch``), ``"batch"`` (dependence-free ``run_batch``) or
+    ``"scalar"`` (per-iteration loop, preserving packed order).
+    """
+
+    kind: str
+    loop: int
+    iters: np.ndarray
+    precomp: Any = None
+
+
+@dataclass
+class ExecutionPlan:
+    """A schedule compiled into a flat list of vectorized dispatches.
+
+    Barriers are implicit: steps are emitted in s-partition order and the
+    (sequential-faithful) executor runs them in sequence, so every
+    cross-s-partition dependence is satisfied by construction.
+    """
+
+    loop_counts: tuple[int, ...]
+    min_batch: int
+    steps: list[PlanStep]
+    kernels: list[Kernel]
+    n_level_steps: int = 0
+    n_batch_steps: int = 0
+    n_scalar_iterations: int = 0
+    n_batched_iterations: int = 0
+    compile_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+
+def _split_levels(iters: np.ndarray, levels: np.ndarray) -> list[np.ndarray]:
+    """Split *iters* into its intra-DAG level sets, ascending level.
+
+    Stable sort keeps the packed order within one level, which keeps the
+    scalar fallback for tiny levels faithful to the original schedule.
+    """
+    lv = levels[iters]
+    order = np.argsort(lv, kind="stable")
+    sorted_lv = lv[order]
+    boundaries = np.nonzero(np.diff(sorted_lv))[0] + 1
+    return [iters[g] for g in np.split(order, boundaries)]
+
+
+def compile_plan(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    *,
+    min_batch: int = 4,
+) -> ExecutionPlan:
+    """Compile *schedule* + *kernels* into an :class:`ExecutionPlan`.
+
+    ``min_batch`` is the group/level size below which the per-iteration
+    path stays cheaper than vectorized dispatch (see
+    :func:`repro.runtime.batched.execute_schedule_batched` for the
+    tradeoff discussion).
+    """
+    if len(kernels) != len(schedule.loop_counts):
+        raise ValueError(
+            f"{len(kernels)} kernels for {len(schedule.loop_counts)} loops"
+        )
+    for k, kern in enumerate(kernels):
+        if kern.n_iterations != schedule.loop_counts[k]:
+            raise ValueError(
+                f"loop {k}: kernel has {kern.n_iterations} iterations, "
+                f"schedule expects {schedule.loop_counts[k]}"
+            )
+    rec = current_recorder()
+    t0 = time.perf_counter()
+    offsets = schedule.offsets
+    loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
+    for k in range(len(kernels)):
+        loop_of[offsets[k] : offsets[k + 1]] = k
+    level_capable = [
+        getattr(k, "supports_level_batch", False) for k in kernels
+    ]
+    batch_capable = [getattr(k, "supports_batch", False) for k in kernels]
+    # Intra-DAG levels, computed lazily per loop (memoized on the DAG).
+    kern_levels: list[np.ndarray | None] = [None] * len(kernels)
+
+    steps: list[PlanStep] = []
+    n_level = n_batch = n_scalar_iters = n_batched_iters = 0
+    with rec.span("plan.compile", vertices=schedule.n_vertices):
+        for _, _, verts in schedule.iter_all():
+            if verts.shape[0] == 0:
+                continue
+            loops = loop_of[verts]
+            # Group by loop, ascending program order, packed order kept
+            # within each group (legality: module docstring, point (a)).
+            order = np.argsort(loops, kind="stable")
+            grouped = verts[order]
+            gloops = loops[order]
+            boundaries = np.nonzero(np.diff(gloops))[0] + 1
+            for group in np.split(grouped, boundaries):
+                k = int(loop_of[group[0]])
+                kern = kernels[k]
+                iters = group - int(offsets[k])
+                if level_capable[k] and iters.shape[0] >= min_batch:
+                    if kern_levels[k] is None:
+                        kern_levels[k] = kern.intra_dag().levels()
+                    for chunk in _split_levels(iters, kern_levels[k]):
+                        if chunk.shape[0] >= min_batch:
+                            steps.append(
+                                PlanStep(
+                                    "level",
+                                    k,
+                                    chunk,
+                                    kern.precompute_level(chunk),
+                                )
+                            )
+                            n_level += 1
+                            n_batched_iters += chunk.shape[0]
+                        else:
+                            steps.append(PlanStep("scalar", k, chunk))
+                            n_scalar_iters += chunk.shape[0]
+                elif batch_capable[k] and iters.shape[0] >= min_batch:
+                    steps.append(PlanStep("batch", k, iters))
+                    n_batch += 1
+                    n_batched_iters += iters.shape[0]
+                else:
+                    steps.append(PlanStep("scalar", k, iters))
+                    n_scalar_iters += iters.shape[0]
+    compile_seconds = time.perf_counter() - t0
+    if rec.enabled:
+        rec.count("plan.compile_seconds", compile_seconds)
+        rec.count("plan.level_steps", n_level)
+    return ExecutionPlan(
+        loop_counts=tuple(schedule.loop_counts),
+        min_batch=min_batch,
+        steps=steps,
+        kernels=list(kernels),
+        n_level_steps=n_level,
+        n_batch_steps=n_batch,
+        n_scalar_iterations=n_scalar_iters,
+        n_batched_iterations=n_batched_iters,
+        compile_seconds=compile_seconds,
+    )
+
+
+def plan_for(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    *,
+    min_batch: int = 4,
+) -> ExecutionPlan:
+    """Memoized :func:`compile_plan`: cached on ``schedule.meta``.
+
+    The cache key is the identity of the kernel objects plus
+    ``min_batch``; the plan holds strong references to its kernels, so
+    an ``id()`` can never be recycled while its cache entry is alive.
+    Counters ``plan.cache_hits`` / ``plan.cache_misses`` record the
+    amortization.
+    """
+    cache = schedule.meta.setdefault(_PLAN_CACHE_KEY, {})
+    key = (tuple(id(k) for k in kernels), int(min_batch))
+    rec = current_recorder()
+    plan = cache.get(key)
+    if plan is not None:
+        if rec.enabled:
+            rec.count("plan.cache_hits")
+        return plan
+    if rec.enabled:
+        rec.count("plan.cache_misses")
+    plan = compile_plan(schedule, kernels, min_batch=min_batch)
+    cache[key] = plan
+    return plan
+
+
+def execute_schedule_planned(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    state: State,
+    *,
+    min_batch: int = 4,
+    plan: ExecutionPlan | None = None,
+) -> State:
+    """Execute *schedule* through its compiled plan.
+
+    Semantics match :func:`repro.runtime.executor.execute_schedule` up to
+    floating-point association order inside reductions (tests pin the
+    tolerance; most kernels are bitwise-identical). Pass a prebuilt
+    *plan* to bypass the ``schedule.meta`` cache entirely.
+    """
+    if plan is None:
+        plan = plan_for(schedule, kernels, min_batch=min_batch)
+    elif len(kernels) != len(plan.loop_counts):
+        raise ValueError(
+            f"{len(kernels)} kernels for {len(plan.loop_counts)} loops"
+        )
+    for kern in kernels:
+        kern.setup(state)
+    scratches = [k.make_scratch() for k in kernels]
+    rec = current_recorder()
+    with rec.span(
+        "executor.run", executor="planned", vertices=sum(plan.loop_counts)
+    ):
+        for step in plan.steps:
+            kern = kernels[step.loop]
+            if step.kind == "level":
+                kern.run_level_batch(
+                    step.iters, state, step.precomp, scratches[step.loop]
+                )
+            elif step.kind == "batch":
+                kern.run_batch(step.iters, state, scratches[step.loop])
+            else:
+                scratch = scratches[step.loop]
+                for i in step.iters.tolist():
+                    kern.run_iteration(i, state, scratch)
+    if rec.enabled:
+        rec.count("executor.batched_iterations", plan.n_batched_iterations)
+        rec.count("executor.scalar_iterations", plan.n_scalar_iterations)
+        rec.count("executor.level_count", plan.n_level_steps)
+    return state

@@ -27,6 +27,7 @@ from ..kernels.base import Kernel, State
 from ..obs import current as current_recorder
 from ..runtime.batched import execute_schedule_batched
 from ..runtime.executor import allocate_state, execute_schedule
+from ..runtime.plan import execute_schedule_planned
 from ..runtime.machine import MachineConfig, SimulatedMachine
 from ..baselines.unfused import parsy_schedule
 from ..schedule.schedule import FusedSchedule
@@ -113,16 +114,25 @@ def gauss_seidel(
     n_threads: int = 8,
     machine: MachineConfig | None = None,
     x0: np.ndarray | None = None,
+    executor: str = "batched",
+    min_batch: int = 4,
 ) -> GSResult:
     """Solve ``A x = b`` with backward GS (paper's Fig. 9 configuration).
 
     ``method`` selects how the unrolled chain is scheduled:
     ``"sparse-fusion"`` (ICO), ``"parsy"`` (unfused LBC per loop),
     ``"joint-wavefront"`` / ``"joint-lbc"`` / ``"joint-dagp"``.
+    ``executor`` selects how each chunk runs: ``"iter"`` (per-iteration
+    oracle), ``"batched"`` (vectorized dependence-free runs) or
+    ``"plan"`` (compiled level-batched plan — compiled on the first
+    sweep, cache-hit on every later one; see :mod:`repro.runtime.plan`).
+    ``min_batch`` tunes the vectorization threshold of the latter two.
     Convergence stops at relative residual *tol* or *max_iters* GS
     iterations; ``simulated_solve_seconds`` prices the executed chunks
     on the machine model.
     """
+    if executor not in ("iter", "batched", "plan"):
+        raise ValueError(f"unknown executor {executor!r}")
     if not a.is_square:
         raise ValueError("Gauss-Seidel requires a square matrix")
     b = np.asarray(b, dtype=np.float64)
@@ -158,9 +168,18 @@ def gauss_seidel(
     iterations = 0
     converged = False
     chunks = 0
-    with rec.span("gs.solve", method=method, unroll=unroll):
+    with rec.span("gs.solve", method=method, unroll=unroll, executor=executor):
         while iterations < max_iters:
-            execute_schedule_batched(sched, kernels, state)
+            if executor == "plan":
+                execute_schedule_planned(
+                    sched, kernels, state, min_batch=min_batch
+                )
+            elif executor == "batched":
+                execute_schedule_batched(
+                    sched, kernels, state, min_batch=min_batch
+                )
+            else:
+                execute_schedule(sched, kernels, state)
             chunks += 1
             iterations += unroll
             x = state[x_out]

@@ -1,6 +1,6 @@
 """Small shared utilities: timing and deterministic test-data helpers."""
 
-from .arrays import multi_range, segment_sums
+from .arrays import multi_range, segment_boundaries, segment_sums, segment_sums_at
 from .timing import Timer
 from .testing import random_spd_csr, random_lower_csr, rng_for
 
@@ -11,4 +11,6 @@ __all__ = [
     "rng_for",
     "multi_range",
     "segment_sums",
+    "segment_boundaries",
+    "segment_sums_at",
 ]

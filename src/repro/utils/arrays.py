@@ -6,7 +6,12 @@ import numpy as np
 
 from ..sparse.base import INDEX_DTYPE
 
-__all__ = ["multi_range", "segment_sums"]
+__all__ = [
+    "multi_range",
+    "segment_sums",
+    "segment_boundaries",
+    "segment_sums_at",
+]
 
 
 def multi_range(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -43,4 +48,30 @@ def segment_sums(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
     # segments in between contribute nothing). Clipping out-of-range
     # starts instead would split the final non-empty segment.
     out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
+
+
+def segment_boundaries(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute the :func:`segment_sums` reduction plan for *counts*.
+
+    Returns ``(reduce_starts, nonempty)`` for :func:`segment_sums_at` —
+    plan compilation calls this once per level so that repeated sweeps
+    pay only the ``np.add.reduceat`` itself.
+    """
+    counts = np.asarray(counts)
+    nonempty = counts > 0
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return starts[nonempty].astype(INDEX_DTYPE, copy=False), nonempty
+
+
+def segment_sums_at(
+    values: np.ndarray,
+    n_segments: int,
+    reduce_starts: np.ndarray,
+    nonempty: np.ndarray,
+) -> np.ndarray:
+    """:func:`segment_sums` with boundaries from :func:`segment_boundaries`."""
+    out = np.zeros(n_segments, dtype=values.dtype)
+    if reduce_starts.shape[0]:
+        out[nonempty] = np.add.reduceat(values, reduce_starts)
     return out

@@ -1,0 +1,259 @@
+"""Compiled-plan executor: equivalence, memoization, degenerate schedules.
+
+The equivalence contract (docs/performance.md): for kernels whose batch
+arithmetic is elementwise or preserves the scalar accumulation order
+(DSCAL, SpIC0, SpILU0, the CSC/push solves), planned execution is
+**bitwise identical** to the per-iteration oracle; for kernels whose
+row reductions switch from ``np.dot`` to ``np.add.reduceat`` (CSR
+gather kernels), results agree to tight tolerance — association order
+is the only difference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.fusion import COMBINATIONS, build_combination
+from repro.kernels import SpTRSVCSR, internal_var
+from repro.runtime import (
+    allocate_state,
+    compile_plan,
+    execute_schedule,
+    execute_schedule_planned,
+    plan_for,
+)
+from repro.obs import recording
+from repro.schedule import FusedSchedule
+
+
+def _run_both(schedule, kernels, state, **plan_kwargs):
+    st1 = {k: v.copy() for k, v in state.items()}
+    st2 = {k: v.copy() for k, v in state.items()}
+    execute_schedule(schedule, kernels, st1)
+    execute_schedule_planned(schedule, kernels, st2, **plan_kwargs)
+    return st1, st2
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("cid", sorted(COMBINATIONS))
+    def test_matches_per_iteration_all_combos(self, cid, lap3d_nd):
+        kernels, state = build_combination(cid, lap3d_nd, seed=cid)
+        fl = fuse(kernels, 8)
+        st1, st2 = _run_both(fl.schedule, kernels, state)
+        for var in st1:
+            if internal_var(var):
+                continue
+            assert np.allclose(st1[var], st2[var], atol=1e-12), (cid, var)
+
+    @pytest.mark.parametrize("cid", sorted(COMBINATIONS))
+    def test_matches_on_band_matrix(self, cid, band_small):
+        """Deep narrow DAG: most levels are single-vertex (scalar path)."""
+        kernels, state = build_combination(cid, band_small, seed=cid)
+        fl = fuse(kernels, 4)
+        st1, st2 = _run_both(fl.schedule, kernels, state)
+        for var in st1:
+            if internal_var(var):
+                continue
+            assert np.allclose(st1[var], st2[var], atol=1e-12), (cid, var)
+
+    def test_factorizations_bitwise(self, lap3d_nd):
+        """SpIC0/SpILU0 level batches replay the exact scalar update
+        order — not just close, identical."""
+        for cid in (2, 6):  # the factorization combinations
+            kernels, state = build_combination(cid, lap3d_nd, seed=cid)
+            fl = fuse(kernels, 8)
+            st1, st2 = _run_both(fl.schedule, kernels, state)
+            for kern in kernels:
+                if type(kern).__name__ in ("SpIC0", "SpILU0", "DScalCSR", "DScalCSC"):
+                    for var in kern.write_vars:
+                        assert np.array_equal(st1[var], st2[var]), (
+                            cid,
+                            type(kern).__name__,
+                            var,
+                        )
+
+    def test_huge_min_batch_is_bitwise_scalar(self, lap2d_nd):
+        """min_batch beyond every group size forces the scalar path,
+        which must be bitwise-faithful to the packed order."""
+        kernels, state = build_combination(3, lap2d_nd, seed=1)
+        fl = fuse(kernels, 4)
+        st1, st2 = _run_both(fl.schedule, kernels, state, min_batch=10**9)
+        for var in st1:
+            assert np.array_equal(st1[var], st2[var]), var
+
+    def test_planned_deterministic_across_runs(self, lap3d_nd):
+        """Two planned executions of the same plan are bitwise equal."""
+        kernels, state = build_combination(3, lap3d_nd, seed=5)
+        fl = fuse(kernels, 8)
+        st1 = {k: v.copy() for k, v in state.items()}
+        st2 = {k: v.copy() for k, v in state.items()}
+        execute_schedule_planned(fl.schedule, kernels, st1)
+        execute_schedule_planned(fl.schedule, kernels, st2)
+        for var in st1:
+            assert np.array_equal(st1[var], st2[var]), var
+
+
+class TestDegenerateSchedules:
+    def test_empty_w_partitions(self, lap2d_nd, rng):
+        """Schedules may carry empty w-partitions; the compiler must
+        skip them without emitting steps."""
+        low = lap2d_nd.lower_triangle()
+        kern = SpTRSVCSR(low)
+        wf = kern.intra_dag().wavefronts()
+        empty = np.empty(0, dtype=np.int64)
+        s_partitions = [[w.astype(np.int64), empty, empty] for w in wf]
+        sched = FusedSchedule((kern.n_iterations,), s_partitions)
+        state = allocate_state([kern])
+        state["Lx"][:] = low.data
+        state["b"][:] = rng.random(low.n_rows)
+        st1, st2 = _run_both(sched, [kern], state)
+        assert np.allclose(st1["x"], st2["x"], atol=1e-13)
+
+    def test_single_vertex_levels(self, rng):
+        """A fully sequential chain: every level batch degenerates to
+        one iteration and takes the scalar path."""
+        from repro.sparse import banded_spd
+
+        a = banded_spd(60, 1)  # tridiagonal -> pure chain
+        low = a.lower_triangle()
+        kern = SpTRSVCSR(low)
+        sched = FusedSchedule(
+            (kern.n_iterations,),
+            [[np.arange(kern.n_iterations, dtype=np.int64)]],
+        )
+        state = allocate_state([kern])
+        state["Lx"][:] = low.data
+        state["b"][:] = rng.random(low.n_rows)
+        st1, st2 = _run_both(sched, [kern], state)
+        assert np.array_equal(st1["x"], st2["x"])
+        plan = compile_plan(sched, [kern])
+        assert plan.n_level_steps == 0  # all single-vertex -> scalar
+
+    def test_empty_loop(self):
+        """Zero-iteration loops compile to an empty plan."""
+        from repro.sparse import laplacian_2d
+        from repro.kernels import SpMVCSR
+
+        a = laplacian_2d(3)
+        kern = SpMVCSR(a)
+        sched = FusedSchedule((a.n_rows,), [[np.arange(a.n_rows, dtype=np.int64)]])
+        plan = compile_plan(sched, [kern])
+        assert plan.n_steps >= 1
+
+
+class TestMemoization:
+    def test_cache_hits_counted(self, lap2d_nd):
+        kernels, state = build_combination(3, lap2d_nd, seed=0)
+        fl = fuse(kernels, 4)
+        with recording() as rec:
+            st = {k: v.copy() for k, v in state.items()}
+            execute_schedule_planned(fl.schedule, kernels, st)
+            execute_schedule_planned(fl.schedule, kernels, st)
+            execute_schedule_planned(fl.schedule, kernels, st)
+        assert rec.counter("plan.cache_misses") == 1
+        assert rec.counter("plan.cache_hits") == 2
+        assert rec.counter("plan.compile_seconds") > 0
+
+    def test_plan_identity_reused(self, lap2d_nd):
+        kernels, _ = build_combination(1, lap2d_nd)
+        fl = fuse(kernels, 4)
+        assert plan_for(fl.schedule, kernels) is plan_for(fl.schedule, kernels)
+
+    def test_min_batch_keys_cache(self, lap2d_nd):
+        kernels, _ = build_combination(1, lap2d_nd)
+        fl = fuse(kernels, 4)
+        p4 = plan_for(fl.schedule, kernels, min_batch=4)
+        p8 = plan_for(fl.schedule, kernels, min_batch=8)
+        assert p4 is not p8
+        assert p4.min_batch == 4 and p8.min_batch == 8
+
+    def test_schedule_copy_does_not_share_plans(self, lap2d_nd):
+        """copy() duplicates meta, so a copied schedule re-compiles —
+        plan-cache invalidation is by schedule object identity."""
+        kernels, _ = build_combination(1, lap2d_nd)
+        fl = fuse(kernels, 4)
+        p = plan_for(fl.schedule, kernels)
+        dup = fl.schedule.copy()
+        with recording() as rec:
+            plan_for(dup, kernels)
+        assert rec.counter("plan.cache_misses") == 1
+        assert p is not plan_for(dup, kernels)
+
+    def test_mismatched_kernels_rejected(self, lap2d_nd):
+        kernels, state = build_combination(1, lap2d_nd)
+        bad = FusedSchedule((1,), [[np.array([0])]])
+        with pytest.raises(ValueError):
+            execute_schedule_planned(bad, kernels, state)
+
+
+class TestSolverIntegration:
+    def test_gs_planned_sweeps_match_iter(self, lap2d_nd, rng):
+        """Repeated planned sweeps on evolving state — the cache-hit
+        regime — stay consistent with the per-iteration executor."""
+        from repro.solvers import build_gs_chain
+        from repro.solvers.gauss_seidel import gs_split
+
+        kernels, xi, xo = build_gs_chain(lap2d_nd, 2)
+        fl = fuse(kernels, 6, validate=False)
+        low, e = gs_split(lap2d_nd)
+        st1 = allocate_state(kernels)
+        st1["Lx"][:] = low.data
+        st1["Ex"][:] = e.data
+        st1["b"][:] = rng.random(lap2d_nd.n_rows)
+        st2 = {k: v.copy() for k, v in st1.items()}
+        for _ in range(10):
+            execute_schedule(fl.schedule, kernels, st1)
+            st1[xi][:] = st1[xo]
+            execute_schedule_planned(fl.schedule, kernels, st2)
+            st2[xi][:] = st2[xo]
+        assert np.allclose(st1[xo], st2[xo], atol=1e-13)
+
+    def test_gauss_seidel_executor_plan(self, lap2d_nd, rng):
+        from repro.solvers import gauss_seidel
+
+        b = rng.random(lap2d_nd.n_rows)
+        ref = gauss_seidel(lap2d_nd, b, tol=1e-8, executor="iter")
+        res = gauss_seidel(lap2d_nd, b, tol=1e-8, executor="plan")
+        assert res.converged
+        assert res.iterations == ref.iterations
+        assert np.allclose(res.x, ref.x, atol=1e-10)
+
+    def test_gauss_seidel_rejects_unknown_executor(self, lap2d_nd, rng):
+        from repro.solvers import gauss_seidel
+
+        with pytest.raises(ValueError):
+            gauss_seidel(lap2d_nd, rng.random(lap2d_nd.n_rows), executor="bogus")
+
+
+class TestWavefrontMemoization:
+    def test_wavefronts_cached(self, lap2d_nd):
+        dag = lap2d_nd.lower_triangle().to_csc()
+        from repro.graph import DAG
+
+        g = DAG.from_lower_triangular(dag)
+        w1 = g.wavefronts()
+        w2 = g.wavefronts()
+        assert w1 is w2
+        assert sum(w.shape[0] for w in w1) == g.n
+
+    def test_wavefronts_match_levels(self, lap3d_nd):
+        from repro.graph import DAG
+
+        g = DAG.from_lower_triangular(lap3d_nd.lower_triangle().to_csc())
+        lv = g.levels()
+        for level, verts in enumerate(g.wavefronts()):
+            assert np.all(lv[verts] == level)
+            assert np.all(np.diff(verts) > 0)  # sorted ascending
+
+
+class TestObsCounters:
+    def test_executor_counters_recorded(self, lap3d_nd):
+        kernels, state = build_combination(3, lap3d_nd, seed=3)
+        fl = fuse(kernels, 8)
+        with recording() as rec:
+            execute_schedule_planned(fl.schedule, kernels, state)
+        assert rec.counter("executor.batched_iterations") > 0
+        assert rec.counter("executor.level_count") > 0
+        names = [s.name for s in rec.spans]
+        assert "plan.compile" in names
+        assert "executor.run" in names
