@@ -58,16 +58,38 @@ def small_test_matrix() -> CSRMatrix:
 
 
 def geomean(values) -> float:
-    """Geometric mean (ignores non-positive values)."""
-    arr = np.asarray([v for v in values if v > 0], dtype=float)
+    """Geometric mean (ignores non-positive and non-finite values).
+
+    ``inf`` entries come from the NER never-amortizes sentinel; letting
+    one through would turn the whole aggregate into ``inf``.
+    """
+    arr = np.asarray(
+        [v for v in values if v > 0 and np.isfinite(v)], dtype=float
+    )
     return float(np.exp(np.log(arr).mean())) if arr.size else float("nan")
+
+
+def _jsonable(obj):
+    """Strict-JSON payload: non-finite floats (the NER ``inf`` sentinel)
+    become ``None`` so the results files stay parseable everywhere."""
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (float, np.floating)):
+        return float(obj) if np.isfinite(obj) else None
+    if isinstance(obj, np.integer):
+        return int(obj)
+    return obj
 
 
 def save_results(name: str, payload: dict) -> Path:
     """Write an experiment's rows to ``benchmarks/results/<name>.json``."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, default=float))
+    path.write_text(
+        json.dumps(_jsonable(payload), indent=2, default=float, allow_nan=False)
+    )
     return path
 
 

@@ -109,13 +109,37 @@ def _load(args):
 
 
 def _start_recording(args):
-    """Recorder + context for commands honouring ``--trace PATH``."""
-    from contextlib import nullcontext
+    """Recorder + context for the pipeline-summary commands.
 
-    if getattr(args, "trace", None):
-        rec = Recorder()
-        return rec, recording(rec)
-    return None, nullcontext()
+    Always records (the summary line needs the inspector/plan spans and
+    cache counters); the Perfetto trace is only written with ``--trace``.
+    Also installs the default schedule cache when ``--inspector-cache``
+    is given (bare flag = in-memory, with a value = on-disk directory).
+    """
+    from .schedule import ScheduleCache, set_default_cache
+
+    if getattr(args, "inspector_cache", None) is not None:
+        set_default_cache(ScheduleCache(directory=args.inspector_cache or None))
+    rec = Recorder()
+    return rec, recording(rec)
+
+
+def _pipeline_summary(rec) -> str:
+    """One-line NER health readout: inspector / plan-compile / cache."""
+    counters = rec.counters
+    inspector = counters.get("inspector.seconds", 0.0)
+    plan = sum(s.seconds for s in rec.spans if s.name == "plan.compile")
+    hits = int(counters.get("inspector.cache_hits", 0))
+    misses = int(counters.get("inspector.cache_misses", 0))
+    cache = (
+        f"schedule cache {hits} hit / {misses} miss"
+        if hits or misses
+        else "schedule cache off"
+    )
+    return (
+        f"pipeline    inspector {inspector * 1e3:.1f} ms, "
+        f"plan compile {plan * 1e3:.1f} ms, {cache}"
+    )
 
 
 def _write_unified_trace(rec, path, schedule, kernels, n_threads) -> None:
@@ -182,12 +206,13 @@ def _cmd_fuse(args) -> int:
     print(f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing")
     print(f"inspector   {fl.inspector_seconds * 1e3:.1f} ms")
     print(f"executed    {executed * 1e3:.1f} ms ({args.executor} executor)")
+    print(_pipeline_summary(rec))
     print(format_profile(profile_schedule(fl.schedule, kernels)))
     if args.save:
         fp = pattern_fingerprint(*(k.intra_dag() for k in kernels))
         path = save_schedule(args.save, fl.schedule, fingerprint=fp)
         print(f"schedule saved to {path}")
-    if rec is not None:
+    if args.trace:
         _write_unified_trace(rec, args.trace, fl.schedule, kernels, args.threads)
     return 0
 
@@ -221,7 +246,8 @@ def _cmd_compare(args) -> int:
         f"sparse-fusion schedule executed in {executed * 1e3:.1f} ms "
         f"({args.executor} executor)"
     )
-    if rec is not None:
+    print(_pipeline_summary(rec))
+    if args.trace:
         sched = results["sparse-fusion"].schedule
         _write_unified_trace(rec, args.trace, sched, kernels, args.threads)
     return 0
@@ -256,7 +282,8 @@ def _cmd_gs(args) -> int:
         f"inspector {res.inspector_seconds * 1e3:.1f} ms, "
         f"{res.meta['chunks']} chunks of {2 * args.unroll} fused loops"
     )
-    if rec is not None:
+    print(_pipeline_summary(rec))
+    if args.trace:
         kernels, _, _ = build_gs_chain(a, args.unroll)
         _write_unified_trace(rec, args.trace, res.schedule, kernels, args.threads)
     return 0
@@ -310,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "--trace",
                 metavar="PATH",
                 help="record the run; write a unified Perfetto trace to PATH",
+            )
+            sp.add_argument(
+                "--inspector-cache",
+                nargs="?",
+                const="",
+                default=None,
+                metavar="DIR",
+                help="memoize schedules by pattern fingerprint (bare flag: "
+                "in-memory for this run; with DIR: persistent on-disk store)",
             )
         if executor:
             sp.add_argument(

@@ -22,6 +22,7 @@ from ..obs import current as current_recorder
 from ..runtime.executor import allocate_state, execute_schedule, run_reference
 from ..runtime.machine import MachineConfig, MachineReport, SimulatedMachine
 from ..runtime.threaded import ThreadedExecutor
+from ..schedule.cache import ScheduleCache, get_default_cache, schedule_key
 from ..schedule.dagp import dagp_schedule
 from ..schedule.hdagg import hdagg_schedule
 from ..schedule.ico import ico_schedule
@@ -144,6 +145,7 @@ def fuse(
     scheduler: str = "ico",
     reuse_ratio: float | None = None,
     validate: bool = True,
+    cache: "ScheduleCache | None" = None,
     **scheduler_kwargs,
 ) -> FusedLoops:
     """Fuse *kernels* (program order) into one parallel schedule.
@@ -163,6 +165,10 @@ def fuse(
         Override the inspector's reuse metric (packing selection).
     validate:
         Double-check the schedule against the dependence oracle.
+    cache:
+        A :class:`repro.schedule.cache.ScheduleCache`; when ``None`` the
+        process-wide default (``set_default_cache``) is consulted. On a
+        pattern-fingerprint hit the scheduling stage is skipped entirely.
     scheduler_kwargs:
         Forwarded to the scheduler (e.g. LBC's ``initial_cut``).
 
@@ -175,24 +181,47 @@ def fuse(
     """
     if len(kernels) < 2:
         raise ValueError("fuse() needs at least two loops")
+    if scheduler != "ico" and scheduler not in _JOINT_SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected 'ico' or one of "
+            f"{sorted(_JOINT_SCHEDULERS)}"
+        )
+    if cache is None:
+        cache = get_default_cache()
     rec = current_recorder()
+    cache_state = None
     with rec.span("inspector", scheduler=scheduler, loops=len(kernels)) as inspect_span:
         dags, inter, measured_reuse = inspect_loops(kernels)
         reuse = measured_reuse if reuse_ratio is None else float(reuse_ratio)
         rec.event("inspector.reuse_ratio", value=reuse)
-        if scheduler == "ico":
-            sched = ico_schedule(dags, inter, n_threads, reuse, **scheduler_kwargs)
-        elif scheduler in _JOINT_SCHEDULERS:
-            with rec.span(f"schedule.{scheduler}"):
-                sched = _schedule_joint(
-                    scheduler, dags, inter, n_threads, reuse, **scheduler_kwargs
+        sched = key = None
+        if cache is not None:
+            with rec.span("inspector.cache_lookup"):
+                key = schedule_key(
+                    dags, inter, scheduler, n_threads, reuse, scheduler_kwargs
                 )
-        else:
-            raise ValueError(
-                f"unknown scheduler {scheduler!r}; expected 'ico' or one of "
-                f"{sorted(_JOINT_SCHEDULERS)}"
+                sched = cache.get(key)
+            cache_state = "miss" if sched is None else "hit"
+            rec.count(
+                "inspector.cache_misses"
+                if sched is None
+                else "inspector.cache_hits",
+                1,
             )
+        if sched is None:
+            if scheduler == "ico":
+                sched = ico_schedule(
+                    dags, inter, n_threads, reuse, **scheduler_kwargs
+                )
+            else:
+                with rec.span(f"schedule.{scheduler}"):
+                    sched = _schedule_joint(
+                        scheduler, dags, inter, n_threads, reuse, **scheduler_kwargs
+                    )
+            if cache is not None:
+                cache.put(key, sched)
     inspector_seconds = inspect_span.seconds
+    rec.count("inspector.seconds", inspector_seconds)
     fused = FusedLoops(
         kernels=list(kernels),
         dags=dags,
@@ -201,7 +230,7 @@ def fuse(
         schedule=sched,
         n_threads=n_threads,
         inspector_seconds=inspector_seconds,
-        meta={"scheduler": scheduler},
+        meta={"scheduler": scheduler, "cache": cache_state},
     )
     if validate:
         fused.validate()
@@ -265,13 +294,5 @@ def _repack(sched, dags, inter, packing):
     loop_counts = tuple(d.n for d in dags)
     builder = _IcoBuilder(dags, inter, 1)
     builder._build_global_adjacency()
-    new_sparts = []
-    for wlist in sched.s_partitions:
-        out = []
-        for verts in wlist:
-            v = np.sort(verts)
-            if packing == "interleaved":
-                v = builder._interleave(v)
-            out.append(v)
-        new_sparts.append(out)
+    new_sparts = builder.repack_partitions(sched.s_partitions, packing)
     return FusedSchedule(loop_counts, new_sparts, packing=packing)

@@ -22,6 +22,7 @@ import numpy as np
 from ..sparse.base import INDEX_DTYPE, VALUE_DTYPE, as_index_array, as_value_array
 from ..sparse.csc import CSCMatrix
 from ..sparse.csr import CSRMatrix
+from ..utils.arrays import multi_range
 
 __all__ = ["DAG"]
 
@@ -55,6 +56,7 @@ class DAG:
         "_heights",
         "_topo",
         "_wavefronts",
+        "_slack",
     )
 
     def __init__(self, n: int, indptr, indices, weights=None, *, check: bool = True):
@@ -91,6 +93,7 @@ class DAG:
         self._heights = None
         self._topo = None
         self._wavefronts = None
+        self._slack = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -327,34 +330,59 @@ class DAG:
         without pushing any dependent past the last wavefront; with both
         ``l`` and ``height`` measured in edges this is
         ``(P_G - 1) - l(v) - height(v)`` and is always ``>= 0``.
+
+        Memoized like :meth:`levels` (ICO's slack balancing and hdagg
+        both re-ask); callers must not mutate the returned array.
         """
         if self.n == 0:
             return np.empty(0, dtype=INDEX_DTYPE)
-        return (self.n_wavefronts - 1) - self.levels() - self.heights()
+        if self._slack is None:
+            self._slack = (
+                (self.n_wavefronts - 1) - self.levels() - self.heights()
+            )
+        return self._slack
 
     # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
     def transpose(self) -> "DAG":
-        """The reversed DAG (every edge flipped)."""
+        """The reversed DAG (every edge flipped).
+
+        Memos carry over instead of being recomputed: reversing edges
+        swaps levels with heights, reverses any topological order, and
+        leaves the per-vertex slack unchanged (``SN`` is symmetric in
+        ``l`` and ``height``). Wavefronts are left to be rebuilt lazily
+        from the carried levels.
+        """
         indptr, indices = self.predecessor_arrays()
-        return DAG(self.n, indptr.copy(), indices.copy(), self.weights, check=False)
+        out = DAG(self.n, indptr.copy(), indices.copy(), self.weights, check=False)
+        out._pred_indptr = self.indptr
+        out._pred_indices = self.indices
+        out._levels = self._heights
+        out._heights = self._levels
+        out._topo = None if self._topo is None else self._topo[::-1].copy()
+        out._slack = self._slack
+        return out
 
     def induced_subgraph(self, vertices: np.ndarray) -> tuple["DAG", np.ndarray]:
         """Subgraph on *vertices*; returns ``(sub_dag, vertex_map)``.
 
         ``vertex_map[k]`` is the original id of the subgraph's vertex
-        ``k``; *vertices* need not be sorted but must be unique.
+        ``k``; *vertices* need not be sorted but must be unique. The
+        subgraph is a new DAG with fresh (empty) memos — levels and
+        heights are not restrictions of the parent's, so nothing can be
+        carried over.
         """
         vertices = np.asarray(vertices, dtype=INDEX_DTYPE)
         local = np.full(self.n, -1, dtype=INDEX_DTYPE)
         local[vertices] = np.arange(vertices.shape[0], dtype=INDEX_DTYPE)
-        edges = []
-        for k, v in enumerate(vertices):
-            for s in self.successors(v):
-                ls = local[s]
-                if ls >= 0:
-                    edges.append((k, ls))
+        counts = self.indptr[vertices + 1] - self.indptr[vertices]
+        src = local[np.repeat(vertices, counts)]
+        dst = local[
+            self.indices[multi_range(self.indptr[vertices], counts)]
+        ]
+        keep = dst >= 0
+        edges = np.stack([src[keep], dst[keep]], axis=1)
         sub = DAG.from_edges(vertices.shape[0], edges, self.weights[vertices])
         return sub, vertices
 

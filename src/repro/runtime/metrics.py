@@ -56,12 +56,16 @@ def average_memory_latency(report: MachineReport) -> float:
 def ner(inspector_time: float, baseline_time: float, executor_time: float) -> float:
     """Number of executor runs that amortize the inspector (Fig. 7).
 
-    ``inspector_time / (baseline_time - executor_time)``; negative when
-    the executor is *slower* than the baseline (inspection never pays
-    off), matching the paper's convention.
+    ``inspector_time / (baseline_time - executor_time)``. When the
+    executor does not beat the baseline (``baseline_time <=
+    executor_time``, including near-ties where the denominator is noise)
+    inspection can never be amortized and the result is the flagged
+    sentinel ``inf`` — not a division blow-up or a misleading negative —
+    mirroring the gflops zero-seconds guard. Aggregations must filter
+    with ``math.isfinite``.
     """
     denom = baseline_time - executor_time
-    if denom == 0:
+    if denom <= max(1e-12, 1e-9 * abs(baseline_time)):
         return float("inf")
     return inspector_time / denom
 

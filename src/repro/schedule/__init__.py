@@ -9,6 +9,12 @@
 * :func:`ico_schedule` — the paper's Iteration Composition and Ordering.
 """
 
+from .cache import (
+    ScheduleCache,
+    get_default_cache,
+    schedule_key,
+    set_default_cache,
+)
 from .dagp import dagp_partition, dagp_schedule
 from .hdagg import hdagg_schedule
 from .ico import ico_schedule
@@ -42,4 +48,8 @@ __all__ = [
     "load_schedule",
     "pattern_fingerprint",
     "save_schedule",
+    "ScheduleCache",
+    "schedule_key",
+    "get_default_cache",
+    "set_default_cache",
 ]

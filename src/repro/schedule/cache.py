@@ -1,0 +1,165 @@
+"""Pattern-keyed schedule cache: memoized LBC/ICO inspector results.
+
+The paper's reuse contract is that "the fused schedule can be reused as
+long as the sparsity patterns of A and L do not change". The schedulers
+are pure functions of (DAG patterns, inter-dependence patterns, vertex
+costs, scheduling parameters), so their results can be memoized on a
+content fingerprint of exactly those inputs: a warm hit skips LBC window
+growing and the whole ICO pipeline and costs one hash of the structure
+arrays. :func:`repro.fusion.fuse` consults the cache between the
+inspector's DAG construction and the scheduling stage.
+
+Two tiers:
+
+* an in-memory LRU (:class:`ScheduleCache`), for repeated ``fuse`` calls
+  in one process — e.g. the unrolled Gauss-Seidel chunks, which fuse the
+  same pattern dozens of times per solve;
+* an optional on-disk store (``directory=``) reusing
+  :mod:`repro.schedule.serialize`, so the inspection cost is paid once
+  *across* processes. The cache key doubles as the stored pattern
+  fingerprint, so a stale or corrupted file fails closed (treated as a
+  miss) instead of yielding a schedule for the wrong pattern.
+
+On-disk caching is safe exactly when the key inputs capture everything
+the scheduler reads: DAG ``indptr``/``indices``, InterDep rows, vertex
+weights, loop pairing, and every scheduler parameter. Anything else
+(matrix *values*, right-hand sides) never influences a schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from .schedule import FusedSchedule
+from .serialize import (
+    ScheduleFormatError,
+    load_schedule,
+    pattern_fingerprint,
+    save_schedule,
+)
+
+__all__ = [
+    "ScheduleCache",
+    "schedule_key",
+    "get_default_cache",
+    "set_default_cache",
+]
+
+
+def schedule_key(dags, inter, scheduler, r, reuse_ratio, params=None) -> str:
+    """Content fingerprint of one scheduling problem.
+
+    SHA-256 over the DAG and InterDep structure arrays (via
+    :func:`pattern_fingerprint`), the per-vertex weights (same pattern
+    with different costs partitions differently), the loop pairing, and
+    the full parameter set ``(scheduler, r, reuse_ratio, params)``.
+    Floats are hashed via ``repr`` — bit-exact, no rounding surprises.
+    """
+    h = hashlib.sha256()
+    ops = list(dags) + [inter[k] for k in sorted(inter)]
+    h.update(pattern_fingerprint(*ops).encode())
+    for d in dags:
+        h.update(np.ascontiguousarray(d.weights, dtype=np.float64).tobytes())
+    spec = {
+        "loops": [int(d.n) for d in dags],
+        "pairs": sorted(inter),
+        "scheduler": str(scheduler),
+        "r": int(r),
+        "reuse": repr(float(reuse_ratio)),
+        "params": {k: repr(v) for k, v in sorted((params or {}).items())},
+    }
+    h.update(json.dumps(spec, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+class ScheduleCache:
+    """LRU schedule memo with an optional on-disk tier.
+
+    ``get``/``put`` always copy (:meth:`FusedSchedule.copy`): callers
+    mutate schedule ``meta`` (compiled execution plans, scheduler tags),
+    and a cached entry must stay pristine.
+    """
+
+    def __init__(self, maxsize: int = 64, directory=None):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.directory = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._mem: OrderedDict[str, FusedSchedule] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"sched-{key}.npz"
+
+    def get(self, key: str) -> FusedSchedule | None:
+        """Cached schedule for *key*, or ``None`` (counted as a miss)."""
+        sched = self._mem.get(key)
+        if sched is not None:
+            self._mem.move_to_end(key)
+            self.hits += 1
+            return sched.copy()
+        if self.directory is not None:
+            try:
+                sched = load_schedule(self._path(key), expect_fingerprint=key)
+            except (FileNotFoundError, OSError, ScheduleFormatError):
+                sched = None
+            if sched is not None:
+                self._remember(key, sched)
+                self.hits += 1
+                self.disk_hits += 1
+                return sched.copy()
+        self.misses += 1
+        return None
+
+    def put(self, key: str, schedule: FusedSchedule) -> None:
+        """Memoize *schedule* under *key* (and persist when on disk)."""
+        self._remember(key, schedule.copy())
+        if self.directory is not None:
+            save_schedule(self._path(key), schedule, fingerprint=key)
+
+    def _remember(self, key: str, schedule: FusedSchedule) -> None:
+        self._mem[key] = schedule
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.maxsize:
+            self._mem.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (on-disk files are left in place)."""
+        self._mem.clear()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "entries": len(self._mem),
+        }
+
+
+_default_cache: ScheduleCache | None = None
+
+
+def set_default_cache(cache: ScheduleCache | None) -> ScheduleCache | None:
+    """Install the process-wide cache :func:`repro.fusion.fuse` consults
+    when no explicit ``cache=`` is passed; returns the previous one."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def get_default_cache() -> ScheduleCache | None:
+    return _default_cache

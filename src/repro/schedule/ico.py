@@ -24,8 +24,19 @@ loops without materializing the joint DAG, in three steps:
    (``reuse_ratio < 1``) orders vertices by (loop, iteration) for spatial
    locality inside each kernel, while *interleaved* packing
    (``reuse_ratio >= 1``) emits consumers eagerly right after their
-   producers (a DFS topological order of the in-partition subgraph) for
+   producers (a topological order of the in-partition subgraph) for
    temporal locality across kernels.
+
+The embedding is *frontier-at-a-time*: producer/consumer maps are flat
+CSR arrays (one merged structure per tail loop) and whole wavefronts are
+classified and placed with segment reductions instead of per-vertex
+Python loops. Batched placements use a contiguous *waterfill* over the
+current w-partition loads rather than the per-vertex sticky-bin walk of
+the seed, so bin choices for free/displaced vertices may differ from the
+per-vertex reference (:mod:`repro.schedule.reference`) while preserving
+dependence validity and balance; equivalence is enforced by the tests
+through :func:`repro.schedule.schedule.validate_schedule` plus cost
+parity, as the per-vertex tie-breaking is not order-preserved.
 
 The output always passes :func:`repro.schedule.schedule.validate_schedule`
 — correctness is enforced by construction and double-checked in tests.
@@ -39,11 +50,15 @@ from ..graph.dag import DAG
 from ..graph.interdep import InterDep
 from ..obs import current as current_recorder
 from ..sparse.base import INDEX_DTYPE
+from ..utils.arrays import multi_range
 from .lbc import lbc_schedule
-from .partition_utils import pack_components, window_components
+from .partition_utils import UnionFind, group_by_roots, pack_components
 from .schedule import FusedSchedule
 
 __all__ = ["ico_schedule"]
+
+_UNPLACED = -2  # sp sentinel: not yet embedded
+_NO_DEP = np.iinfo(np.int32).max  # frontier-reduce default for "no edges"
 
 
 def ico_schedule(
@@ -129,14 +144,32 @@ def ico_schedule(
     return sched
 
 
+def _frontier_reduce(vals, counts, op, default):
+    """Per-frontier-vertex reduction of gathered neighbour values.
+
+    ``vals`` holds the concatenated neighbour attributes of a frontier,
+    ``counts`` the per-vertex neighbour counts. Empty slots get
+    *default* (see :func:`repro.utils.arrays.segment_sums` for why the
+    reduction runs only at non-empty starts).
+    """
+    n = counts.shape[0]
+    out = np.full(n, default, dtype=INDEX_DTYPE)
+    if vals.shape[0] == 0 or n == 0:
+        return out
+    nonempty = counts > 0
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    out[nonempty] = op.reduceat(vals, starts[nonempty])
+    return out
+
+
 class _IcoBuilder:
     """Mutable partitioning state shared by the ICO steps.
 
     Vertices are global ids over the fused loops. ``sp``/``wp`` map each
     vertex to its s-/w-partition; ``-2`` marks "not yet placed" and a
     *preamble* uses ``sp == -1`` until :meth:`finalize_partitions`
-    renumbers. ``loads[s][w]`` tracks w-partition cost for balance
-    decisions during embedding.
+    renumbers. ``loads[s]`` is the per-w-partition cost vector used for
+    the waterfill balance decisions during embedding.
     """
 
     def __init__(self, dags, inter, r):
@@ -147,22 +180,16 @@ class _IcoBuilder:
         np.cumsum([d.n for d in dags], out=self.offsets[1:])
         self.n_total = int(self.offsets[-1])
         self.weights = np.concatenate([d.weights for d in dags])
-        self.sp = np.full(self.n_total, -2, dtype=INDEX_DTYPE)
+        self.sp = np.full(self.n_total, _UNPLACED, dtype=INDEX_DTYPE)
         self.wp = np.full(self.n_total, -1, dtype=INDEX_DTYPE)
-        self.loads: list[list[float]] = []
+        self.loads: list[np.ndarray] = []
         self.preamble: list[int] = []
-        self._sticky: dict[int, int] = {}
-        # Sticky-run quantum: contiguous-run granularity for displaced /
-        # slack vertex streams. 1/(32 r) of total cost keeps runs long
-        # enough for unit-stride locality yet small against per-thread
-        # load (~1/r), so balance is unaffected at the makespan level.
-        total_w = float(self.weights.sum()) if self.n_total else 1.0
-        self._sticky_quantum = total_w / (32.0 * max(1, r))
-        # Combined predecessor/successor adjacency in global-id space is
-        # assembled lazily per loop during embedding; after
-        # finalize_partitions, full arrays exist for merging/balancing.
+        self.n_sparts = 0
+        # Full global adjacency exists after finalize_partitions (merging
+        # and balancing need it); embedding uses per-loop CSR maps only.
         self._g_pred = None
         self._g_succ = None
+        self._loops = None
 
     # ------------------------------------------------------------------
     # Step 1 helpers
@@ -173,230 +200,229 @@ class _IcoBuilder:
         self.n_sparts = head_sched.n_spartitions
         self.loads = []
         for s, wlist in enumerate(head_sched.s_partitions):
-            loads = []
+            loads = np.zeros(self.r)
             for w, verts in enumerate(wlist):
                 g = verts + off
                 self.sp[g] = s
                 self.wp[g] = w
-                loads.append(float(self.weights[g].sum()))
-            # reserve empty slots up to r so embedding can open new
-            # w-partitions for displaced vertices
-            while len(loads) < self.r:
-                loads.append(0.0)
+                loads[w] = float(self.weights[g].sum())
             self.loads.append(loads)
 
-    def _producers_of(self, t: int):
-        """Per-vertex producer lists for loop *t*: intra preds (global)
-        and F-producers from every earlier loop.
+    def _producers_csr(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """Merged producer map of loop *t* as flat CSR in global ids.
 
-        Returns a closure over plain Python lists — the embedding loop is
-        per-vertex and scalar, where list indexing beats numpy slicing by
-        an order of magnitude.
+        Row ``i`` concatenates the intra predecessors of iteration ``i``
+        and its F-producers from every earlier loop — one structure per
+        loop instead of a per-vertex Python closure, so whole wavefronts
+        gather their producers with a single ``multi_range`` join.
         """
         dag = self.dags[t]
-        off = int(self.offsets[t])
         pred_ptr, pred_idx = dag.predecessor_arrays()
-        pptr = pred_ptr.tolist()
-        pidx = pred_idx.tolist()
-        fs = []
+        parts = [(pred_ptr, pred_idx, int(self.offsets[t]))]
         for e in range(t):
             f = self.inter.get((e, t))
             if f is not None and f.nnz:
-                fs.append(
-                    (int(self.offsets[e]), f.row_indptr.tolist(), f.row_indices.tolist())
-                )
-        def producers(i: int) -> list[int]:
-            out = [off + p for p in pidx[pptr[i] : pptr[i + 1]]]
-            for foff, fptr, fidx in fs:
-                out.extend(foff + p for p in fidx[fptr[i] : fptr[i + 1]])
-            return out
-        return producers
+                parts.append((f.row_indptr, f.row_indices, int(self.offsets[e])))
+        return self._merge_csr(dag.n, parts)
 
-    def _consumers_of(self, t: int):
-        """Per-vertex consumer lists for loop *t*: intra succs (global)
-        and F-consumers in every later loop (plain-list closure, see
-        :meth:`_producers_of`)."""
+    def _consumers_csr(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """Merged consumer map of loop *t* (intra succs + F-consumers)."""
         dag = self.dags[t]
-        off = int(self.offsets[t])
-        ptr = dag.indptr.tolist()
-        idx = dag.indices.tolist()
-        fs = [
-            (int(self.offsets[c]), self.inter[(t, c)])
-            for c in range(t + 1, len(self.dags))
-            if (t, c) in self.inter and self.inter[(t, c)].nnz
-        ]
-        def consumers(i: int) -> list[int]:
-            out = [off + s for s in idx[ptr[i] : ptr[i + 1]]]
-            for coff, f in fs:
-                out.extend(coff + c for c in f.consumers(i).tolist())
-            return out
-        return consumers
+        parts = [(dag.indptr, dag.indices, int(self.offsets[t]))]
+        for c in range(t + 1, len(self.dags)):
+            f = self.inter.get((t, c))
+            if f is not None and f.nnz:
+                parts.append((f.col_indptr, f.col_indices, int(self.offsets[c])))
+        return self._merge_csr(dag.n, parts)
 
-    def _least_loaded(self, s: int) -> int:
-        loads = self.loads[s]
-        return int(np.argmin(loads))
-
-    def _sticky_bin(self, s: int) -> int:
-        """Locality-preserving bin choice for streams of displaced/free
-        vertices.
-
-        Plain per-vertex ``argmin`` round-robins consecutive iterations
-        across w-partitions, destroying unit-stride access (each thread
-        would own every r-th row). Instead, stay on the current bin until
-        it exceeds the least-loaded bin by a *quantum* (a fraction of the
-        average vertex cost times a run length), then jump to the
-        least-loaded bin — contiguous runs, still balanced.
-        """
-        loads = self.loads[s]
-        prev = self._sticky.get(s)
-        quantum = self._sticky_quantum
-        w_min = min(range(len(loads)), key=loads.__getitem__)
-        if prev is not None and loads[prev] <= loads[w_min] + quantum:
-            return prev
-        self._sticky[s] = w_min
-        return w_min
-
-    def _place(self, v: int, s: int, w: int) -> None:
-        self.sp[v] = s
-        self.wp[v] = w
-        if s >= 0:
-            self.loads[s][w] += float(self.weights[v])
+    @staticmethod
+    def _merge_csr(n, parts):
+        """Row-wise concatenation of CSR structures, offsets applied."""
+        total = np.zeros(n, dtype=INDEX_DTYPE)
+        for ptr, _, _ in parts:
+            total += np.diff(ptr)
+        indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(total, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+        fill = indptr[:-1].copy()
+        for ptr, idx, off in parts:
+            counts = np.diff(ptr)
+            # CSR data is laid out row-contiguously, so the source gather
+            # is just the data array itself.
+            indices[multi_range(fill, counts)] = idx + off
+            fill += counts
+        return indptr, indices
 
     def _append_spartition(self) -> int:
-        self.loads.append([0.0] * self.r)
+        self.loads.append(np.zeros(self.r))
         self.n_sparts += 1
         return self.n_sparts - 1
+
+    def _assign_stream(self, s: int, gverts: np.ndarray, level: float | None = None) -> None:
+        """Place an id-ordered batch into s-partition *s* by waterfill.
+
+        Bins are filled lowest-load first up to a common water *level*
+        (computed from the batch weight when not given), and the batch is
+        cut into contiguous runs — one per bin — so consecutive
+        iterations stay on one thread (the locality the per-vertex
+        sticky-bin walk bought, without its sequential load updates).
+        """
+        if gverts.shape[0] == 0:
+            return
+        loads = self.loads[s]
+        w = self.weights[gverts]
+        total = float(w.sum())
+        r = loads.shape[0]
+        order = np.argsort(loads, kind="stable")
+        lo_sorted = loads[order]
+        csum = np.cumsum(lo_sorted)
+        if level is None:
+            # water used when the level reaches bin j's load:
+            # f(lo_sorted[j]) = j * lo_sorted[j] - sum(lo_sorted[:j])
+            fill_at = np.arange(r) * lo_sorted - np.concatenate([[0.0], csum[:-1]])
+            m = max(1, min(int(np.searchsorted(fill_at, total, side="right")), r))
+            level = (total + csum[m - 1]) / m
+        caps = np.maximum(level - lo_sorted, 0.0)
+        cuts = np.searchsorted(np.cumsum(w), np.cumsum(caps), side="right")
+        cuts[-1] = gverts.shape[0]  # rounding overflow goes to the last bin
+        bounds = np.concatenate([[0], cuts])
+        for k in range(r):
+            a, b = int(bounds[k]), int(bounds[k + 1])
+            if b > a:
+                run = gverts[a:b]
+                bin_ = int(order[k])
+                self.sp[run] = s
+                self.wp[run] = bin_
+                loads[bin_] += float(w[a:b].sum())
+
+    def _bulk_place(self, gverts, s_arr, w_arr) -> None:
+        """Record pre-decided (s, w) placements and update loads."""
+        self.sp[gverts] = s_arr
+        self.wp[gverts] = w_arr
+        for s in np.unique(s_arr).tolist():
+            m = s_arr == s
+            np.add.at(self.loads[s], w_arr[m], self.weights[gverts[m]])
 
     def embed_forward(self, t: int) -> None:
         """Pair loop *t* (a consumer loop) with the existing partitioning.
 
-        Forward topological order; each vertex lands with its latest
-        producer when that producer's w-partition is unique, one
-        s-partition later otherwise (the uncontained case).
+        Wavefront-at-a-time: every producer of a frontier vertex is
+        already placed (intra predecessors live in earlier wavefronts,
+        F-producers in earlier loops), so a whole wavefront is classified
+        with segment reductions — paired with its latest producer when
+        that producer's w-partition is unique, displaced one s-partition
+        later otherwise (the uncontained case).
         """
-        producers = self._producers_of(t)
+        indptr, indices = self._producers_csr(t)
         off = int(self.offsets[t])
-        sp = self.sp.tolist()
-        wp = self.wp.tolist()
-        weights = self.weights.tolist()
-        loads = self.loads
-        for i in range(self.dags[t].n):
-            v = off + i
-            prods = producers(i)
-            if not prods:
-                # Free vertex (no producers): drop in the least-loaded
-                # w-partition of s-partition 0 *immediately*, so later
-                # vertices that depend on it see a real placement; slack
-                # balancing may move it anywhere (unbounded-below window).
-                w = self._sticky_bin(0)
-                sp[v], wp[v] = 0, w
-                loads[0][w] += weights[v]
-                continue
-            s_max = max(sp[p] for p in prods)
-            if s_max < 0:
-                # producers only in the preamble: anything from s0 works
-                w = self._sticky_bin(0)
-                sp[v], wp[v] = 0, w
-                loads[0][w] += weights[v]
-                continue
-            w_first = -1
-            unique = True
-            for p in prods:
-                if sp[p] == s_max:
-                    if w_first < 0:
-                        w_first = wp[p]
-                    elif wp[p] != w_first:
-                        unique = False
-                        break
-            if unique:
-                sp[v], wp[v] = s_max, w_first
-                loads[s_max][w_first] += weights[v]
-            else:
-                s_target = s_max + 1
-                if s_target >= self.n_sparts:
+        for lv in self.dags[t].wavefronts():
+            gv = lv + off
+            starts = indptr[lv]
+            counts = indptr[lv + 1] - starts
+            prods = indices[multi_range(starts, counts)]
+            psp = self.sp[prods]
+            s_max = _frontier_reduce(psp, counts, np.maximum, -_NO_DEP)
+            # free vertices (no producers) and vertices whose producers
+            # all sit in the preamble both start from s-partition 0
+            streamed = s_max < 0
+            live = ~streamed
+            pwp = self.wp[prods]
+            at_max = psp == np.repeat(s_max, counts)
+            wmax = _frontier_reduce(
+                np.where(at_max, pwp, -1), counts, np.maximum, -1
+            )
+            wmin = _frontier_reduce(
+                np.where(at_max, pwp, _NO_DEP), counts, np.minimum, _NO_DEP
+            )
+            unique = live & (wmax == wmin)
+            if unique.any():
+                self._bulk_place(gv[unique], s_max[unique], wmax[unique])
+            self._assign_stream(0, gv[streamed])
+            displaced = live & ~unique
+            if displaced.any():
+                targets = s_max[displaced] + 1
+                dv = gv[displaced]
+                while self.n_sparts <= int(targets.max()):
                     self._append_spartition()
-                w = self._sticky_bin(s_target)
-                sp[v], wp[v] = s_target, w
-                loads[s_target][w] += weights[v]
-        self.sp = np.asarray(sp, dtype=INDEX_DTYPE)
-        self.wp = np.asarray(wp, dtype=INDEX_DTYPE)
+                for s_t in np.unique(targets).tolist():
+                    self._assign_stream(int(s_t), dv[targets == s_t])
 
     def embed_backward(self, t: int) -> None:
         """Pair loop *t* (a producer loop) with the existing partitioning.
 
-        Reverse topological order; each vertex lands with its earliest
-        consumer when unique, one s-partition earlier otherwise; vertices
-        forced before s-partition 0 go to the preamble (``sp == -1``).
+        Height-frontier-at-a-time (height 0 = no intra successors, so
+        every consumer of a frontier vertex is already placed); each
+        vertex lands with its earliest consumer when unique, one
+        s-partition earlier otherwise; vertices forced before s-partition
+        0 go to the preamble (``sp == -1``).
         """
-        consumers = self._consumers_of(t)
+        indptr, indices = self._consumers_csr(t)
         off = int(self.offsets[t])
-        sp = self.sp.tolist()
-        wp = self.wp.tolist()
-        weights = self.weights.tolist()
-        loads = self.loads
+        heights = self.dags[t].heights()
+        hsort = np.argsort(heights, kind="stable")
+        bounds = np.nonzero(np.diff(heights[hsort]))[0] + 1
         last = self.n_sparts - 1
-        for i in range(self.dags[t].n - 1, -1, -1):
-            v = off + i
-            cons = consumers(i)
-            if not cons:
-                # Free vertex (no consumers): place immediately in the last
-                # s-partition so predecessors processed later see it.
-                w = self._sticky_bin(last)
-                sp[v], wp[v] = last, w
-                loads[last][w] += weights[v]
-                continue
-            s_min = min(sp[c] for c in cons)
-            if s_min == -1:
-                # consumer already in the preamble: join it there
-                sp[v] = -1
-                self.preamble.append(v)
-                continue
-            w_first = -1
-            unique = True
-            for c in cons:
-                if sp[c] == s_min:
-                    if w_first < 0:
-                        w_first = wp[c]
-                    elif wp[c] != w_first:
-                        unique = False
-                        break
-            if unique:
-                sp[v], wp[v] = s_min, w_first
-                loads[s_min][w_first] += weights[v]
-            else:
-                s_target = s_min - 1
-                if s_target < 0:
-                    sp[v] = -1
-                    self.preamble.append(v)
-                else:
-                    w = self._sticky_bin(s_target)
-                    sp[v], wp[v] = s_target, w
-                    loads[s_target][w] += weights[v]
-        self.sp = np.asarray(sp, dtype=INDEX_DTYPE)
-        self.wp = np.asarray(wp, dtype=INDEX_DTYPE)
+        for lv in np.split(hsort, bounds):
+            lv = np.sort(lv)
+            gv = lv + off
+            starts = indptr[lv]
+            counts = indptr[lv + 1] - starts
+            cons = indices[multi_range(starts, counts)]
+            csp = self.sp[cons]
+            s_min = _frontier_reduce(csp, counts, np.minimum, _NO_DEP)
+            free = s_min == _NO_DEP
+            # earliest consumer already in the preamble (or, for >2 loop
+            # programs, not yet embedded): join the preamble — it runs
+            # before every numbered s-partition, so the dependence holds
+            pre = (~free) & (s_min < 0)
+            live = ~(free | pre)
+            cwp = self.wp[cons]
+            at_min = csp == np.repeat(s_min, counts)
+            wmax = _frontier_reduce(
+                np.where(at_min, cwp, -1), counts, np.maximum, -1
+            )
+            wmin = _frontier_reduce(
+                np.where(at_min, cwp, _NO_DEP), counts, np.minimum, _NO_DEP
+            )
+            unique = live & (wmax == wmin)
+            if unique.any():
+                self._bulk_place(gv[unique], s_min[unique], wmax[unique])
+            self._assign_stream(last, gv[free])
+            displaced = live & ~unique
+            if displaced.any():
+                targets = s_min[displaced] - 1
+                dv = gv[displaced]
+                to_pre = targets < 0
+                if to_pre.any():
+                    self.sp[dv[to_pre]] = -1
+                    self.preamble.extend(dv[to_pre].tolist())
+                for s_t in np.unique(targets[~to_pre]).tolist():
+                    self._assign_stream(int(s_t), dv[~to_pre][targets[~to_pre] == s_t])
+            if pre.any():
+                self.sp[gv[pre]] = -1
+                self.preamble.extend(gv[pre].tolist())
 
     def finalize_partitions(self) -> None:
         """Materialize the preamble (if any) and the global adjacency."""
         current_recorder().count("ico.preamble_vertices", len(self.preamble))
+        self._build_global_adjacency()
         if self.preamble:
             # Group preamble vertices into independent w-partitions via
             # connected components of their induced subgraph (all belong
             # to producer loops; every dependence among them stays inside
             # one component, so component grouping is dependence-safe).
             verts = np.asarray(sorted(self.preamble), dtype=INDEX_DTYPE)
-            comps = self._global_components(verts)
-            costs = [float(self.weights[c].sum()) for c in comps]
+            comps, costs = self._global_components(verts)
             packed = pack_components(comps, costs, self.r)
             self.sp[self.sp >= 0] += 1
             self.n_sparts += 1
-            loads = [0.0] * self.r
+            loads = np.zeros(self.r)
             for w, grp in enumerate(packed):
                 self.sp[grp] = 0
                 self.wp[grp] = w
                 loads[w] = float(self.weights[grp].sum())
             self.loads.insert(0, loads)
             self.preamble = []
-        self._build_global_adjacency()
 
     def _build_global_adjacency(self) -> None:
         """Union of all intra-DAG and inter-loop edges in global ids."""
@@ -427,34 +453,16 @@ class _IcoBuilder:
         np.cumsum(np.bincount(dst, minlength=n), out=pptr[1:])
         self._g_pred = (pptr, src[order])
 
-    def _global_components(self, verts: np.ndarray) -> list[np.ndarray]:
+    def _global_components(self, verts: np.ndarray):
         """Weakly-connected components among *verts* over all edges."""
-        from .partition_utils import UnionFind
-
         member = np.zeros(self.n_total, dtype=bool)
         member[verts] = True
+        src, dst = self._g_edges
+        keep = member[src] & member[dst]
         uf = UnionFind(self.n_total)
-        for k, d in enumerate(self.dags):
-            off = int(self.offsets[k])
-            for i in range(d.n):
-                v = off + i
-                if not member[v]:
-                    continue
-                for s in d.successors(i):
-                    if member[off + s]:
-                        uf.union(v, off + int(s))
-        for (a, b), f in self.inter.items():
-            aoff, boff = int(self.offsets[a]), int(self.offsets[b])
-            for j in range(f.n_first):
-                if not member[aoff + j]:
-                    continue
-                for c in f.consumers(j):
-                    if member[boff + int(c)]:
-                        uf.union(aoff + j, boff + int(c))
-        comps: dict[int, list[int]] = {}
-        for v in verts.tolist():
-            comps.setdefault(uf.find(v), []).append(v)
-        return [np.asarray(sorted(c), dtype=INDEX_DTYPE) for c in comps.values()]
+        uf.unite_edges(src[keep], dst[keep])
+        roots = uf.find_many(verts)
+        return group_by_roots(verts, roots, self.weights)
 
     # ------------------------------------------------------------------
     # Step 2: merging + slack balancing
@@ -468,19 +476,17 @@ class _IcoBuilder:
         wider of the two inputs (and at most ``r``), the barrier between
         them is free to remove — the paper's zero-slack pair merge.
         """
-        from .partition_utils import UnionFind
-
         changed = True
         while changed:
             changed = False
             s = 0
             while s + 1 < self.n_sparts:
-                if self._try_merge(s, UnionFind):
+                if self._try_merge(s):
                     changed = True
                 else:
                     s += 1
 
-    def _try_merge(self, s: int, uf_cls) -> bool:
+    def _try_merge(self, s: int) -> bool:
         mask_a = self.sp == s
         mask_b = self.sp == s + 1
         if not mask_a.any() or not mask_b.any():
@@ -493,7 +499,7 @@ class _IcoBuilder:
         # gather the unique (w_src, w_dst) pairs among edges s -> s+1.
         esrc, edst = self._g_edges
         cross = mask_a[esrc] & mask_b[edst]
-        uf = uf_cls(2 * self.r)
+        uf = UnionFind(2 * self.r)
         if cross.any():
             pair_ids = self.wp[esrc[cross]] * (2 * self.r) + (
                 self.r + self.wp[edst[cross]]
@@ -525,10 +531,9 @@ class _IcoBuilder:
 
     def _recompute_loads_at(self, s: int) -> None:
         verts = np.nonzero(self.sp == s)[0]
-        sums = np.bincount(
+        self.loads[s] = np.bincount(
             self.wp[verts], weights=self.weights[verts], minlength=self.r
         )
-        self.loads[s] = sums.tolist()
 
     def slack_balance(self, eps_factor: float) -> None:
         """Rebalance w-partitions with slack vertices (Algorithm 1, 12-16).
@@ -538,7 +543,9 @@ class _IcoBuilder:
         succs)`` (unbounded ends clamp to the schedule). Vertices with a
         window wider than their current slot are pulled into a pool (an
         independent set, so windows stay valid as the pool drains) and
-        re-placed deadline-first into the least-loaded w-partitions.
+        re-placed deadline-first: at every deadline s-partition the due
+        vertices waterfill in, and earlier-deadline capacity under the
+        current peak is valley-filled with later-deadline vertices.
         """
         pptr, pidx = self._g_pred
         sptr, sidx = self._g_succ
@@ -555,133 +562,199 @@ class _IcoBuilder:
         lo = _segment_reduce(self.sp, pptr, pidx, np.maximum, 0, shift=1)
         hi = _segment_reduce(self.sp, sptr, sidx, np.minimum, b - 1, shift=-1)
         # Pool: vertices with a non-empty strict window, independent of
-        # other pooled vertices (so windows stay valid as the pool drains).
-        candidates = np.nonzero(
-            (hi >= lo) & ~((hi == lo) & (self.sp == lo))
-        )[0]
-        in_pool = np.zeros(self.n_total, dtype=bool)
-        pool: list[int] = []
-        pptr_l = pptr.tolist()
-        pidx_l = pidx.tolist()
-        sptr_l = sptr.tolist()
-        sidx_l = sidx.tolist()
-        for v in candidates.tolist():
-            clash = False
-            for p in pidx_l[pptr_l[v] : pptr_l[v + 1]]:
-                if in_pool[p]:
-                    clash = True
-                    break
-            if not clash:
-                for u in sidx_l[sptr_l[v] : sptr_l[v + 1]]:
-                    if in_pool[u]:
-                        clash = True
-                        break
-            if clash:
-                continue
-            in_pool[v] = True
-            pool.append(v)
-        current_recorder().count("ico.slack_pooled", len(pool))
-        if not pool:
+        # other pooled vertices (so windows stay valid as the pool
+        # drains). Independence is enforced vectorized and conservatively
+        # — both endpoints of any candidate-candidate edge are dropped.
+        cand = (hi >= lo) & ~((hi == lo) & (self.sp == lo))
+        src, dst = self._g_edges
+        contested = cand[src] & cand[dst]
+        cand[src[contested]] = False
+        cand[dst[contested]] = False
+        pool = np.nonzero(cand)[0]
+        current_recorder().count("ico.slack_pooled", pool.shape[0])
+        if pool.shape[0] == 0:
             return
-        orig_s = {v: int(self.sp[v]) for v in pool}
-        orig_w = {v: int(self.wp[v]) for v in pool}
-        for v in pool:
-            self.loads[self.sp[v]][self.wp[v]] -= float(self.weights[v])
-            self.sp[v] = -3
-        # Deadline-first, valley-filling placement: a vertex lands in the
-        # earliest allowed s-partition where it fits under the current
-        # makespan (never raising the peak), and is forced at its deadline.
-        # Ordering by (deadline, vertex id) plus a sticky bin keeps
-        # consecutive iterations together (spatial locality) instead of
-        # round-robin scattering them across threads.
-        pool.sort(key=lambda v: (hi[v], v))
-        quantum = self._sticky_quantum
-        remaining = pool
-        for s in range(b):
-            loads = self.loads[s]
-            peak = max(loads) if loads else 0.0
-            prev_w: int | None = None
-            nxt: list[int] = []
-            for v in remaining:
-                if lo[v] > s or hi[v] < s:
-                    nxt.append(v)
-                    continue
-                wv = float(self.weights[v])
-                must = hi[v] == s
-                w_min = min(range(len(loads)), key=loads.__getitem__)
-                # Prefer the vertex's original slot (pairing affinity —
-                # the locality the embedding created) when it fits; only
-                # genuinely displace vertices out of overloaded bins.
-                if s == orig_s[v] and loads[orig_w[v]] + wv <= max(peak, eps):
-                    w_min = orig_w[v]
-                elif prev_w is not None and loads[prev_w] <= loads[w_min] + quantum:
-                    w_min = prev_w
-                fits = loads[w_min] + wv <= max(peak, eps)
-                if must or fits:
-                    self.sp[v] = s
-                    self.wp[v] = w_min
-                    loads[w_min] += wv
-                    peak = max(peak, loads[w_min])
-                    prev_w = w_min
-                else:
-                    nxt.append(v)
-            remaining = nxt
-        # anything left (shouldn't be: hi <= b-1) goes to its earliest slot
-        for v in remaining:
+        for s in np.unique(self.sp[pool]).tolist():
+            m = self.sp[pool] == s
+            np.add.at(self.loads[s], self.wp[pool[m]], -self.weights[pool[m]])
+        self.sp[pool] = -3
+        # Deadline-first (hi, id) order keeps consecutive iterations
+        # adjacent inside each placement batch (spatial locality).
+        order = np.lexsort((pool, hi[pool]))
+        pool = pool[order]
+        plo = lo[pool]
+        phi = hi[pool]
+        placed = np.zeros(pool.shape[0], dtype=bool)
+        for s_e in np.unique(phi).tolist():
+            elig = ~placed & (plo <= s_e) & (phi >= s_e)
+            must = elig & (phi == s_e)
+            if must.any():
+                self._assign_stream(int(s_e), pool[must])
+                placed |= must
+            opt = elig & ~must
+            if not opt.any():
+                continue
+            loads = self.loads[s_e]
+            level = max(float(loads.max()), eps)
+            capacity = float(np.maximum(level - loads, 0.0).sum())
+            if capacity <= 0.0:
+                continue
+            idxs = np.nonzero(opt)[0]
+            k = int(
+                np.searchsorted(
+                    np.cumsum(self.weights[pool[idxs]]), capacity, side="right"
+                )
+            )
+            if k:
+                sel = idxs[:k]
+                self._assign_stream(int(s_e), pool[sel], level=level)
+                placed[sel] = True
+        # anything left (shouldn't be: every vertex is due at its hi)
+        for v in pool[~placed].tolist():
             s = min(max(int(lo[v]), 0), b - 1)
-            w = self._least_loaded(s)
-            self._place(v, s, w)
+            w = int(np.argmin(self.loads[s]))
+            self.sp[v] = s
+            self.wp[v] = w
+            self.loads[s][w] += float(self.weights[v])
 
     # ------------------------------------------------------------------
     # Step 3: packing + schedule construction
     # ------------------------------------------------------------------
     def build_schedule(self, packing: str) -> FusedSchedule:
-        s_partitions: list[list[np.ndarray]] = []
-        for s in range(self.n_sparts):
-            verts = np.nonzero(self.sp == s)[0]
-            wlist = []
-            for w in sorted({int(x) for x in self.wp[verts]}):
-                grp = np.sort(verts[self.wp[verts] == w])
-                if grp.shape[0] == 0:
-                    continue
-                if packing == "interleaved":
-                    grp = self._interleave(grp)
-                wlist.append(grp.astype(INDEX_DTYPE))
-            if wlist:
-                s_partitions.append(wlist)
+        verts = np.nonzero(self.sp >= 0)[0]
         loop_counts = tuple(d.n for d in self.dags)
+        if verts.shape[0] == 0:
+            return FusedSchedule(loop_counts, [], packing=packing)
+        sp = self.sp[verts]
+        wp = self.wp[verts]
+        if packing == "interleaved":
+            code = sp * (self.r + 1) + wp
+            full_code = np.full(self.n_total, -1, dtype=INDEX_DTYPE)
+            full_code[verts] = code
+            anchor = self._interleave_keys(full_code)
+            loop_of = self._loop_of()
+            order = np.lexsort((verts, loop_of[verts], anchor[verts], wp, sp))
+        else:
+            order = np.lexsort((verts, wp, sp))
+        vs = verts[order]
+        sps = sp[order]
+        wps = wp[order]
+        change = np.nonzero((np.diff(sps) != 0) | (np.diff(wps) != 0))[0] + 1
+        starts = np.concatenate([[0], change])
+        ends = np.concatenate([change, [vs.shape[0]]])
+        s_partitions: list[list[np.ndarray]] = []
+        prev_s = None
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            grp = vs[a:b].astype(INDEX_DTYPE, copy=False)
+            s = int(sps[a])
+            if s != prev_s:
+                s_partitions.append([grp])
+                prev_s = s
+            else:
+                s_partitions[-1].append(grp)
         return FusedSchedule(loop_counts, s_partitions, packing=packing)
 
+    def repack_partitions(
+        self, s_partitions: list[list[np.ndarray]], packing: str
+    ) -> list[list[np.ndarray]]:
+        """Re-order the vertices inside every given w-partition.
+
+        Separated packing sorts ascending (loop, iteration); interleaved
+        packing keys ALL partitions in one :meth:`_interleave_keys`
+        sweep — the per-partition entry point :meth:`_interleave` would
+        pay the full-graph cost once per w-partition instead.
+        """
+        if packing != "interleaved":
+            return [[np.sort(v) for v in wlist] for wlist in s_partitions]
+        code = np.full(self.n_total, -1, dtype=INDEX_DTYPE)
+        cid = 0
+        for wlist in s_partitions:
+            for verts in wlist:
+                code[verts] = cid
+                cid += 1
+        anchor = self._interleave_keys(code)
+        loop_of = self._loop_of()
+        return [
+            [v[np.lexsort((v, loop_of[v], anchor[v]))] for v in wlist]
+            for wlist in s_partitions
+        ]
+
+    def _loop_of(self) -> np.ndarray:
+        """Loop index of every global vertex id."""
+        if self._loops is None:
+            self._loops = (
+                np.searchsorted(
+                    self.offsets, np.arange(self.n_total), side="right"
+                ).astype(INDEX_DTYPE)
+                - 1
+            )
+        return self._loops
+
+    def _interleave_keys(self, code: np.ndarray) -> np.ndarray:
+        """Anchored interleave key of every vertex within its partition.
+
+        ``code`` assigns each vertex a partition id (< 0 = ignore).
+        Vertices of the first loop (the "backbone") get their own
+        ``level * n + id`` key; every later-loop vertex inherits the
+        maximum anchor among its in-partition producers, so sorting a
+        partition by ``(anchor, loop, id)`` emits each consumer right
+        after the producer run that enables it — the vectorized analogue
+        of the per-partition DFS walk's eager interleaving (e.g. a SpMV
+        iteration lands directly after the TRSV iteration feeding it).
+
+        The order is dependence-safe: for any in-partition edge
+        ``u -> v``, ``anchor(v) >= anchor(u)`` by construction, ties
+        fall back to the loop index (inter-loop edges always point to
+        later loops) and then the vertex id (intra-loop edges of
+        naturally ordered DAGs always point to larger ids). All
+        partitions are keyed simultaneously with one Kahn frontier sweep
+        over the same-partition edges; a frontier vertex's round equals
+        its local level, so backbone keys need no separate levelling
+        pass.
+        """
+        n = self.n_total
+        src, dst = self._g_edges
+        same = (code[src] >= 0) & (code[src] == code[dst])
+        es, ed = src[same], dst[same]
+        indeg = np.bincount(ed, minlength=n).astype(INDEX_DTYPE)
+        order = np.argsort(es, kind="stable")
+        sptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(es, minlength=n), out=sptr[1:])
+        sidx = ed[order]
+        loop_of = self._loop_of()
+        anchor = np.zeros(n, dtype=np.int64)
+        prop = np.full(n, -1, dtype=np.int64)  # max producer anchor seen
+        frontier = np.nonzero((code >= 0) & (indeg == 0))[0]
+        depth = 0
+        while frontier.shape[0]:
+            own = np.int64(depth) * np.int64(n) + frontier.astype(np.int64)
+            inherited = prop[frontier]
+            a = np.where(
+                (loop_of[frontier] == 0) | (inherited < 0), own, inherited
+            )
+            anchor[frontier] = a
+            starts = sptr[frontier]
+            counts = sptr[frontier + 1] - starts
+            nbr = sidx[multi_range(starts, counts)]
+            if nbr.shape[0] == 0:
+                break
+            np.maximum.at(prop, nbr, np.repeat(a, counts))
+            np.subtract.at(indeg, nbr, 1)
+            cand = np.unique(nbr)
+            frontier = cand[indeg[cand] == 0]
+            depth += 1
+        return anchor
+
     def _interleave(self, verts: np.ndarray) -> np.ndarray:
-        """DFS topological order of the in-partition subgraph: consumers
-        are emitted immediately after their last producer (temporal
-        locality across kernels)."""
-        sptr, sidx = self._g_succ
-        pptr, pidx = self._g_pred
-        member = {int(v): k for k, v in enumerate(verts)}
-        indeg = np.zeros(verts.shape[0], dtype=INDEX_DTYPE)
-        for k, v in enumerate(verts.tolist()):
-            for p in pidx[pptr[v] : pptr[v + 1]].tolist():
-                if p in member:
-                    indeg[k] += 1
-        order: list[int] = []
-        stack = [int(v) for v in verts[indeg == 0][::-1].tolist()]
-        while stack:
-            v = stack.pop()
-            order.append(v)
-            ready = []
-            for c in sidx[sptr[v] : sptr[v + 1]].tolist():
-                k = member.get(c)
-                if k is not None:
-                    indeg[k] -= 1
-                    if indeg[k] == 0:
-                        ready.append(c)
-            # push larger ids first so smaller iterations pop first
-            for c in sorted(ready, reverse=True):
-                stack.append(c)
-        if len(order) != verts.shape[0]:  # pragma: no cover - safety net
-            raise AssertionError("interleaved packing failed to order partition")
-        return np.asarray(order, dtype=INDEX_DTYPE)
+        """Interleaved order of one vertex set (see :meth:`_interleave_keys`)."""
+        code = np.full(self.n_total, -1, dtype=INDEX_DTYPE)
+        code[verts] = 0
+        anchor = self._interleave_keys(code)
+        loop_of = self._loop_of()
+        return verts[np.lexsort((verts, loop_of[verts], anchor[verts]))].astype(
+            INDEX_DTYPE, copy=False
+        )
+
 
 def _segment_reduce(values, indptr, indices, op, default, *, shift):
     """Per-segment reduction ``op`` of ``values[indices]`` with *default*

@@ -35,7 +35,13 @@ import numpy as np
 from ..graph.dag import DAG
 from ..obs import current as current_recorder
 from ..sparse.base import INDEX_DTYPE
-from .partition_utils import UnionFind, pack_components, window_components
+from ..utils.arrays import multi_range
+from .partition_utils import (
+    UnionFind,
+    group_by_roots,
+    pack_components,
+    window_components,
+)
 from .schedule import FusedSchedule
 
 __all__ = ["lbc_schedule"]
@@ -102,42 +108,51 @@ def _lbc_partitions(
     while lb < n_levels:
         # --- grow the window [lb, ub) -------------------------------------
         uf = UnionFind(dag.n)
-        comp_cost = np.zeros(dag.n)  # component cost at each UF root
         window: list[np.ndarray] = []
         window_cost = 0.0
         n_comps = 0
         max_comp = 0.0
 
-        def absorb(level_verts: np.ndarray) -> int:
-            """Add one level to the window; return new component count."""
+        def absorb(level_verts: np.ndarray, track_balance: bool) -> int:
+            """Add one level to the window; return new component count.
+
+            The whole level's predecessor edges are unioned in one bulk
+            :meth:`UnionFind.unite_edges` call; the component count is
+            maintained from the merge count. ``max_comp`` (only read by
+            the wide regime's balance check) is recomputed per absorb
+            from the window's current roots — component costs only grow,
+            so this equals the per-merge running max the per-vertex
+            reference maintains.
+            """
             nonlocal window_cost, n_comps, max_comp
             member[level_verts] = True
             window.append(level_verts)
             window_cost += float(weights[level_verts].sum())
             n_comps += level_verts.shape[0]
-            for v in level_verts.tolist():
-                comp_cost[v] = weights[v]
-                max_comp = max(max_comp, comp_cost[v])
-            for v in level_verts.tolist():
-                for p in pred_idx[pred_ptr[v] : pred_ptr[v + 1]].tolist():
-                    if member[p]:
-                        ra, rb = uf.find(v), uf.find(p)
-                        if ra != rb:
-                            uf.union(ra, rb)
-                            root = uf.find(ra)
-                            merged = comp_cost[ra] + comp_cost[rb]
-                            comp_cost[root] = merged
-                            max_comp = max(max_comp, merged)
-                            n_comps -= 1
+            starts = pred_ptr[level_verts]
+            counts = pred_ptr[level_verts + 1] - starts
+            src = pred_idx[multi_range(starts, counts)]
+            dst = np.repeat(level_verts, counts)
+            keep = member[src]
+            n_comps -= uf.unite_edges(src[keep], dst[keep])
+            if track_balance:
+                wv = window[0] if len(window) == 1 else np.concatenate(window)
+                roots = uf.find_many(wv)
+                # roots are (min-id) vertex ids: bincount them directly —
+                # O(n) but sort-free, cheaper than unique+inverse per level
+                comp_costs = np.bincount(roots, weights=weights[wv])
+                max_comp = float(comp_costs.max())
             return n_comps
 
         def balanced() -> bool:
             return max_comp <= balance_tolerance * window_cost / r
 
         first = wavefronts[lb]
-        absorb(first)
+        wide = first.shape[0] >= r
+        absorb(first, wide)
         ub = lb + 1
-        if first.shape[0] >= r:
+        retracted = False
+        if wide:
             # wide regime: extend while the window keeps >= r components
             # and stays balanced, under the caps
             while (
@@ -149,7 +164,7 @@ def _lbc_partitions(
                 comps_before = n_comps
                 cost_before = window_cost
                 max_before = max_comp
-                if absorb(nxt) >= r and balanced():
+                if absorb(nxt, True) >= r and balanced():
                     ub += 1
                 else:
                     # retract the trial level
@@ -158,23 +173,31 @@ def _lbc_partitions(
                     window_cost = cost_before
                     n_comps = comps_before
                     max_comp = max_before
-                    # union-find merges are not undone: recompute components
-                    # from scratch below via window_components (uf is only a
-                    # counter during growth).
+                    # union-find merges are not undone: the trial level's
+                    # unions poison uf, so the final grouping below must
+                    # rebuild from scratch.
+                    retracted = True
                     break
         else:
             # narrow regime: absorb the run of consecutive narrow levels
+            # (max_comp is never read here, so skip the balance tracking)
             while (
                 ub < n_levels
                 and (ub - lb) < coarsening_factor
                 and wavefronts[ub].shape[0] < r
             ):
-                absorb(wavefronts[ub])
+                absorb(wavefronts[ub], False)
                 ub += 1
 
         verts = np.concatenate(window)
-        comps = window_components(dag, verts, member)
-        costs = [float(weights[c].sum()) for c in comps]
+        if retracted:
+            comps, costs = window_components(dag, verts, member, weights=weights)
+        else:
+            # uf holds exactly the window's internal edges (every level's
+            # predecessor edges were unioned on absorb): group its roots
+            # directly instead of re-unioning the whole window.
+            roots = uf.find_many(verts)
+            comps, costs = group_by_roots(verts, roots, weights)
         s_partitions.append(pack_components(comps, costs, r))
         member[verts] = False
         lb = ub

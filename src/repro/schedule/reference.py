@@ -1,0 +1,694 @@
+"""Frozen scalar (seed) implementations of LBC and ICO.
+
+The vectorized schedulers in :mod:`repro.schedule.lbc` and
+:mod:`repro.schedule.ico` replaced per-vertex Python loops with
+frontier-at-a-time NumPy passes. This module preserves the original
+per-vertex implementations verbatim — including the list-based
+union-find and the scalar ``window_components`` — for two purposes:
+
+* **equivalence oracle** — ``tests/test_schedule_vectorized.py`` checks
+  that the vectorized LBC reproduces the seed partitions exactly and
+  that the vectorized ICO matches the seed's dependence validity and
+  balance quality;
+* **seed baseline** — ``benchmarks/bench_inspector.py`` measures the
+  vectorized inspector's speedup against this path (the quantity gating
+  the CI smoke job).
+
+Nothing here is exported from :mod:`repro.schedule`; import explicitly
+as ``from repro.schedule.reference import ico_schedule_reference``.
+Do not "optimize" this module — its value is being frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.dag import DAG
+from ..graph.interdep import InterDep
+from ..sparse.base import INDEX_DTYPE
+from .partition_utils import pack_components
+from .schedule import FusedSchedule
+
+__all__ = [
+    "lbc_schedule_reference",
+    "ico_schedule_reference",
+    "ListUnionFind",
+    "window_components_reference",
+]
+
+
+class ListUnionFind:
+    """The seed's list-based union-find (path halving, union by size)."""
+
+    __slots__ = ("parent", "size")
+
+    def __init__(self, n: int):
+        self.parent = list(range(n))
+        self.size = [1] * n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def window_components_reference(
+    dag: DAG, verts: np.ndarray, member: np.ndarray
+) -> list[np.ndarray]:
+    """Scalar weakly-connected components (the seed's window grouping)."""
+    uf = ListUnionFind(dag.n)
+    ptr = dag.indptr
+    idx = dag.indices
+    for v in verts.tolist():
+        for s in idx[ptr[v] : ptr[v + 1]].tolist():
+            if member[s]:
+                uf.union(v, s)
+    comps: dict[int, list[int]] = {}
+    for v in verts.tolist():
+        comps.setdefault(uf.find(v), []).append(v)
+    return [np.asarray(sorted(c), dtype=INDEX_DTYPE) for c in comps.values()]
+
+
+# ----------------------------------------------------------------------
+# Seed LBC
+# ----------------------------------------------------------------------
+def lbc_schedule_reference(
+    dag: DAG,
+    r: int,
+    *,
+    initial_cut: int = 1,
+    coarsening_factor: int = 400,
+    balance_tolerance: float = 2.0,
+) -> FusedSchedule:
+    """The seed (per-vertex) LBC; see :func:`repro.schedule.lbc.lbc_schedule`."""
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    if not dag.is_naturally_ordered():
+        raise ValueError("lbc_schedule requires a naturally ordered DAG")
+    if dag.n == 0:
+        return FusedSchedule((0,), [], packing="none")
+    s_partitions, _ = _lbc_partitions_reference(
+        dag, r, initial_cut, coarsening_factor, balance_tolerance
+    )
+    sched = FusedSchedule((dag.n,), s_partitions, packing="none")
+    sched.meta["scheduler"] = "lbc"
+    sched.meta["initial_cut"] = initial_cut
+    sched.meta["coarsening_factor"] = coarsening_factor
+    sched.meta["balance_tolerance"] = balance_tolerance
+    return sched
+
+
+def _lbc_partitions_reference(
+    dag: DAG,
+    r: int,
+    initial_cut: int,
+    coarsening_factor: int,
+    balance_tolerance: float,
+) -> tuple[list[list[np.ndarray]], int]:
+    """The seed LBC window-growing core (per-vertex union-find loops)."""
+    wavefronts = dag.wavefronts()
+    n_levels = len(wavefronts)
+    weights = dag.weights
+    total_cost = float(weights.sum())
+    cost_cap = total_cost / max(1, initial_cut)
+
+    pred_ptr, pred_idx = dag.predecessor_arrays()
+
+    member = np.zeros(dag.n, dtype=bool)
+    s_partitions: list[list[np.ndarray]] = []
+
+    lb = 0
+    while lb < n_levels:
+        uf = ListUnionFind(dag.n)
+        comp_cost = np.zeros(dag.n)  # component cost at each UF root
+        window: list[np.ndarray] = []
+        window_cost = 0.0
+        n_comps = 0
+        max_comp = 0.0
+
+        def absorb(level_verts: np.ndarray) -> int:
+            nonlocal window_cost, n_comps, max_comp
+            member[level_verts] = True
+            window.append(level_verts)
+            window_cost += float(weights[level_verts].sum())
+            n_comps += level_verts.shape[0]
+            for v in level_verts.tolist():
+                comp_cost[v] = weights[v]
+                max_comp = max(max_comp, comp_cost[v])
+            for v in level_verts.tolist():
+                for p in pred_idx[pred_ptr[v] : pred_ptr[v + 1]].tolist():
+                    if member[p]:
+                        ra, rb = uf.find(v), uf.find(p)
+                        if ra != rb:
+                            uf.union(ra, rb)
+                            root = uf.find(ra)
+                            merged = comp_cost[ra] + comp_cost[rb]
+                            comp_cost[root] = merged
+                            max_comp = max(max_comp, merged)
+                            n_comps -= 1
+            return n_comps
+
+        def balanced() -> bool:
+            return max_comp <= balance_tolerance * window_cost / r
+
+        first = wavefronts[lb]
+        absorb(first)
+        ub = lb + 1
+        if first.shape[0] >= r:
+            while (
+                ub < n_levels
+                and (ub - lb) < coarsening_factor
+                and window_cost < cost_cap
+            ):
+                nxt = wavefronts[ub]
+                comps_before = n_comps
+                cost_before = window_cost
+                max_before = max_comp
+                if absorb(nxt) >= r and balanced():
+                    ub += 1
+                else:
+                    member[nxt] = False
+                    window.pop()
+                    window_cost = cost_before
+                    n_comps = comps_before
+                    max_comp = max_before
+                    break
+        else:
+            while (
+                ub < n_levels
+                and (ub - lb) < coarsening_factor
+                and wavefronts[ub].shape[0] < r
+            ):
+                absorb(wavefronts[ub])
+                ub += 1
+
+        verts = np.concatenate(window)
+        comps = window_components_reference(dag, verts, member)
+        costs = [float(weights[c].sum()) for c in comps]
+        s_partitions.append(pack_components(comps, costs, r))
+        member[verts] = False
+        lb = ub
+
+    return s_partitions, n_levels
+
+
+# ----------------------------------------------------------------------
+# Seed ICO
+# ----------------------------------------------------------------------
+def ico_schedule_reference(
+    dags: list[DAG],
+    inter: dict[tuple[int, int], InterDep],
+    r: int,
+    reuse_ratio: float,
+    *,
+    initial_cut: int = 1,
+    coarsening_factor: int = 400,
+    balance_eps_factor: float = 0.001,
+    merge: bool = True,
+    balance: bool = True,
+) -> FusedSchedule:
+    """The seed (per-vertex) ICO; see :func:`repro.schedule.ico.ico_schedule`."""
+    if len(dags) < 2:
+        raise ValueError("ICO fuses at least two loops")
+    if r < 1:
+        raise ValueError("r must be >= 1")
+    builder = _ReferenceIcoBuilder(dags, inter, r)
+    head = 1 if dags[1].has_edges else 0
+    head_sched = lbc_schedule_reference(
+        dags[head],
+        r,
+        initial_cut=initial_cut,
+        coarsening_factor=coarsening_factor,
+    )
+    builder.install_head(head, head_sched)
+    if head == 1:
+        builder.embed_backward(0)
+    else:
+        builder.embed_forward(1)
+    for t in range(2, len(dags)):
+        builder.embed_forward(t)
+    builder.finalize_partitions()
+    if merge:
+        builder.merge_adjacent()
+    if balance:
+        builder.slack_balance(balance_eps_factor)
+    packing = "interleaved" if reuse_ratio >= 1.0 else "separated"
+    sched = builder.build_schedule(packing)
+    sched.meta["scheduler"] = "ico"
+    sched.meta["head"] = head
+    sched.meta["reuse_ratio"] = float(reuse_ratio)
+    return sched
+
+
+class _ReferenceIcoBuilder:
+    """The seed per-vertex ICO builder (see the module docstring)."""
+
+    def __init__(self, dags, inter, r):
+        self.dags = dags
+        self.inter = inter
+        self.r = r
+        self.offsets = np.zeros(len(dags) + 1, dtype=INDEX_DTYPE)
+        np.cumsum([d.n for d in dags], out=self.offsets[1:])
+        self.n_total = int(self.offsets[-1])
+        self.weights = np.concatenate([d.weights for d in dags])
+        self.sp = np.full(self.n_total, -2, dtype=INDEX_DTYPE)
+        self.wp = np.full(self.n_total, -1, dtype=INDEX_DTYPE)
+        self.loads: list[list[float]] = []
+        self.preamble: list[int] = []
+        self._sticky: dict[int, int] = {}
+        total_w = float(self.weights.sum()) if self.n_total else 1.0
+        self._sticky_quantum = total_w / (32.0 * max(1, r))
+        self._g_pred = None
+        self._g_succ = None
+
+    # -- step 1 helpers -------------------------------------------------
+    def install_head(self, head: int, head_sched: FusedSchedule) -> None:
+        off = int(self.offsets[head])
+        self.n_sparts = head_sched.n_spartitions
+        self.loads = []
+        for s, wlist in enumerate(head_sched.s_partitions):
+            loads = []
+            for w, verts in enumerate(wlist):
+                g = verts + off
+                self.sp[g] = s
+                self.wp[g] = w
+                loads.append(float(self.weights[g].sum()))
+            while len(loads) < self.r:
+                loads.append(0.0)
+            self.loads.append(loads)
+
+    def _producers_of(self, t: int):
+        dag = self.dags[t]
+        off = int(self.offsets[t])
+        pred_ptr, pred_idx = dag.predecessor_arrays()
+        pptr = pred_ptr.tolist()
+        pidx = pred_idx.tolist()
+        fs = []
+        for e in range(t):
+            f = self.inter.get((e, t))
+            if f is not None and f.nnz:
+                fs.append(
+                    (int(self.offsets[e]), f.row_indptr.tolist(), f.row_indices.tolist())
+                )
+
+        def producers(i: int) -> list[int]:
+            out = [off + p for p in pidx[pptr[i] : pptr[i + 1]]]
+            for foff, fptr, fidx in fs:
+                out.extend(foff + p for p in fidx[fptr[i] : fptr[i + 1]])
+            return out
+
+        return producers
+
+    def _consumers_of(self, t: int):
+        dag = self.dags[t]
+        off = int(self.offsets[t])
+        ptr = dag.indptr.tolist()
+        idx = dag.indices.tolist()
+        fs = [
+            (int(self.offsets[c]), self.inter[(t, c)])
+            for c in range(t + 1, len(self.dags))
+            if (t, c) in self.inter and self.inter[(t, c)].nnz
+        ]
+
+        def consumers(i: int) -> list[int]:
+            out = [off + s for s in idx[ptr[i] : ptr[i + 1]]]
+            for coff, f in fs:
+                out.extend(coff + c for c in f.consumers(i).tolist())
+            return out
+
+        return consumers
+
+    def _least_loaded(self, s: int) -> int:
+        loads = self.loads[s]
+        return int(np.argmin(loads))
+
+    def _sticky_bin(self, s: int) -> int:
+        loads = self.loads[s]
+        prev = self._sticky.get(s)
+        quantum = self._sticky_quantum
+        w_min = min(range(len(loads)), key=loads.__getitem__)
+        if prev is not None and loads[prev] <= loads[w_min] + quantum:
+            return prev
+        self._sticky[s] = w_min
+        return w_min
+
+    def _place(self, v: int, s: int, w: int) -> None:
+        self.sp[v] = s
+        self.wp[v] = w
+        if s >= 0:
+            self.loads[s][w] += float(self.weights[v])
+
+    def _append_spartition(self) -> int:
+        self.loads.append([0.0] * self.r)
+        self.n_sparts += 1
+        return self.n_sparts - 1
+
+    def embed_forward(self, t: int) -> None:
+        producers = self._producers_of(t)
+        off = int(self.offsets[t])
+        sp = self.sp.tolist()
+        wp = self.wp.tolist()
+        weights = self.weights.tolist()
+        loads = self.loads
+        for i in range(self.dags[t].n):
+            v = off + i
+            prods = producers(i)
+            if not prods:
+                w = self._sticky_bin(0)
+                sp[v], wp[v] = 0, w
+                loads[0][w] += weights[v]
+                continue
+            s_max = max(sp[p] for p in prods)
+            if s_max < 0:
+                w = self._sticky_bin(0)
+                sp[v], wp[v] = 0, w
+                loads[0][w] += weights[v]
+                continue
+            w_first = -1
+            unique = True
+            for p in prods:
+                if sp[p] == s_max:
+                    if w_first < 0:
+                        w_first = wp[p]
+                    elif wp[p] != w_first:
+                        unique = False
+                        break
+            if unique:
+                sp[v], wp[v] = s_max, w_first
+                loads[s_max][w_first] += weights[v]
+            else:
+                s_target = s_max + 1
+                if s_target >= self.n_sparts:
+                    self._append_spartition()
+                w = self._sticky_bin(s_target)
+                sp[v], wp[v] = s_target, w
+                loads[s_target][w] += weights[v]
+        self.sp = np.asarray(sp, dtype=INDEX_DTYPE)
+        self.wp = np.asarray(wp, dtype=INDEX_DTYPE)
+
+    def embed_backward(self, t: int) -> None:
+        consumers = self._consumers_of(t)
+        off = int(self.offsets[t])
+        sp = self.sp.tolist()
+        wp = self.wp.tolist()
+        weights = self.weights.tolist()
+        loads = self.loads
+        last = self.n_sparts - 1
+        for i in range(self.dags[t].n - 1, -1, -1):
+            v = off + i
+            cons = consumers(i)
+            if not cons:
+                w = self._sticky_bin(last)
+                sp[v], wp[v] = last, w
+                loads[last][w] += weights[v]
+                continue
+            s_min = min(sp[c] for c in cons)
+            if s_min == -1:
+                sp[v] = -1
+                self.preamble.append(v)
+                continue
+            w_first = -1
+            unique = True
+            for c in cons:
+                if sp[c] == s_min:
+                    if w_first < 0:
+                        w_first = wp[c]
+                    elif wp[c] != w_first:
+                        unique = False
+                        break
+            if unique:
+                sp[v], wp[v] = s_min, w_first
+                loads[s_min][w_first] += weights[v]
+            else:
+                s_target = s_min - 1
+                if s_target < 0:
+                    sp[v] = -1
+                    self.preamble.append(v)
+                else:
+                    w = self._sticky_bin(s_target)
+                    sp[v], wp[v] = s_target, w
+                    loads[s_target][w] += weights[v]
+        self.sp = np.asarray(sp, dtype=INDEX_DTYPE)
+        self.wp = np.asarray(wp, dtype=INDEX_DTYPE)
+
+    def finalize_partitions(self) -> None:
+        if self.preamble:
+            verts = np.asarray(sorted(self.preamble), dtype=INDEX_DTYPE)
+            comps = self._global_components(verts)
+            costs = [float(self.weights[c].sum()) for c in comps]
+            packed = pack_components(comps, costs, self.r)
+            self.sp[self.sp >= 0] += 1
+            self.n_sparts += 1
+            loads = [0.0] * self.r
+            for w, grp in enumerate(packed):
+                self.sp[grp] = 0
+                self.wp[grp] = w
+                loads[w] = float(self.weights[grp].sum())
+            self.loads.insert(0, loads)
+            self.preamble = []
+        self._build_global_adjacency()
+
+    def _build_global_adjacency(self) -> None:
+        srcs, dsts = [], []
+        for k, d in enumerate(self.dags):
+            if d.n_edges:
+                e = d.edge_list() + int(self.offsets[k])
+                srcs.append(e[:, 0])
+                dsts.append(e[:, 1])
+        for (a, b), f in self.inter.items():
+            if f.nnz:
+                e = f.edge_list()
+                srcs.append(e[:, 0] + int(self.offsets[a]))
+                dsts.append(e[:, 1] + int(self.offsets[b]))
+        if srcs:
+            src = np.concatenate(srcs)
+            dst = np.concatenate(dsts)
+        else:
+            src = dst = np.empty(0, dtype=INDEX_DTYPE)
+        self._g_edges = (src, dst)
+        n = self.n_total
+        order = np.argsort(src, kind="stable")
+        sptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(src, minlength=n), out=sptr[1:])
+        self._g_succ = (sptr, dst[order])
+        order = np.argsort(dst, kind="stable")
+        pptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(np.bincount(dst, minlength=n), out=pptr[1:])
+        self._g_pred = (pptr, src[order])
+
+    def _global_components(self, verts: np.ndarray) -> list[np.ndarray]:
+        member = np.zeros(self.n_total, dtype=bool)
+        member[verts] = True
+        uf = ListUnionFind(self.n_total)
+        for k, d in enumerate(self.dags):
+            off = int(self.offsets[k])
+            for i in range(d.n):
+                v = off + i
+                if not member[v]:
+                    continue
+                for s in d.successors(i):
+                    if member[off + s]:
+                        uf.union(v, off + int(s))
+        for (a, b), f in self.inter.items():
+            aoff, boff = int(self.offsets[a]), int(self.offsets[b])
+            for j in range(f.n_first):
+                if not member[aoff + j]:
+                    continue
+                for c in f.consumers(j):
+                    if member[boff + int(c)]:
+                        uf.union(aoff + j, boff + int(c))
+        comps: dict[int, list[int]] = {}
+        for v in verts.tolist():
+            comps.setdefault(uf.find(v), []).append(v)
+        return [np.asarray(sorted(c), dtype=INDEX_DTYPE) for c in comps.values()]
+
+    # -- step 2 ---------------------------------------------------------
+    def merge_adjacent(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            s = 0
+            while s + 1 < self.n_sparts:
+                if self._try_merge(s):
+                    changed = True
+                else:
+                    s += 1
+
+    def _try_merge(self, s: int) -> bool:
+        mask_a = self.sp == s
+        mask_b = self.sp == s + 1
+        if not mask_a.any() or not mask_b.any():
+            self._drop_empty(s if not mask_a.any() else s + 1)
+            return True
+        width_a = np.unique(self.wp[mask_a]).shape[0]
+        width_b = np.unique(self.wp[mask_b]).shape[0]
+        esrc, edst = self._g_edges
+        cross = mask_a[esrc] & mask_b[edst]
+        uf = ListUnionFind(2 * self.r)
+        if cross.any():
+            pair_ids = self.wp[esrc[cross]] * (2 * self.r) + (
+                self.r + self.wp[edst[cross]]
+            )
+            for pid in np.unique(pair_ids).tolist():
+                uf.union(pid // (2 * self.r), pid % (2 * self.r))
+        used = set(self.wp[mask_a].tolist())
+        used.update(self.r + w for w in self.wp[mask_b].tolist())
+        roots = {uf.find(node) for node in used}
+        n_clusters = len(roots)
+        if n_clusters > self.r or n_clusters < max(width_a, width_b):
+            return False
+        cluster_of = {node: i for i, node in enumerate(sorted(roots))}
+        lut = np.zeros(2 * self.r, dtype=INDEX_DTYPE)
+        for node in used:
+            lut[node] = cluster_of[uf.find(node)]
+        self.wp[mask_a] = lut[self.wp[mask_a]]
+        self.wp[mask_b] = lut[self.r + self.wp[mask_b]]
+        self.sp[mask_b] = s
+        self._recompute_loads_at(s)
+        self._drop_empty(s + 1)
+        return True
+
+    def _drop_empty(self, s: int) -> None:
+        self.sp[self.sp > s] -= 1
+        del self.loads[s]
+        self.n_sparts -= 1
+
+    def _recompute_loads_at(self, s: int) -> None:
+        verts = np.nonzero(self.sp == s)[0]
+        sums = np.bincount(
+            self.wp[verts], weights=self.weights[verts], minlength=self.r
+        )
+        self.loads[s] = sums.tolist()
+
+    def slack_balance(self, eps_factor: float) -> None:
+        from .ico import _segment_reduce
+
+        pptr, pidx = self._g_pred
+        sptr, sidx = self._g_succ
+        b = self.n_sparts
+        if b == 0:
+            return
+        eps = eps_factor * float(self.weights.sum())
+        lo = _segment_reduce(self.sp, pptr, pidx, np.maximum, 0, shift=1)
+        hi = _segment_reduce(self.sp, sptr, sidx, np.minimum, b - 1, shift=-1)
+        candidates = np.nonzero(
+            (hi >= lo) & ~((hi == lo) & (self.sp == lo))
+        )[0]
+        in_pool = np.zeros(self.n_total, dtype=bool)
+        pool: list[int] = []
+        pptr_l = pptr.tolist()
+        pidx_l = pidx.tolist()
+        sptr_l = sptr.tolist()
+        sidx_l = sidx.tolist()
+        for v in candidates.tolist():
+            clash = False
+            for p in pidx_l[pptr_l[v] : pptr_l[v + 1]]:
+                if in_pool[p]:
+                    clash = True
+                    break
+            if not clash:
+                for u in sidx_l[sptr_l[v] : sptr_l[v + 1]]:
+                    if in_pool[u]:
+                        clash = True
+                        break
+            if clash:
+                continue
+            in_pool[v] = True
+            pool.append(v)
+        if not pool:
+            return
+        orig_s = {v: int(self.sp[v]) for v in pool}
+        orig_w = {v: int(self.wp[v]) for v in pool}
+        for v in pool:
+            self.loads[self.sp[v]][self.wp[v]] -= float(self.weights[v])
+            self.sp[v] = -3
+        pool.sort(key=lambda v: (hi[v], v))
+        quantum = self._sticky_quantum
+        remaining = pool
+        for s in range(b):
+            loads = self.loads[s]
+            peak = max(loads) if len(loads) else 0.0
+            prev_w: int | None = None
+            nxt: list[int] = []
+            for v in remaining:
+                if lo[v] > s or hi[v] < s:
+                    nxt.append(v)
+                    continue
+                wv = float(self.weights[v])
+                must = hi[v] == s
+                w_min = min(range(len(loads)), key=loads.__getitem__)
+                if s == orig_s[v] and loads[orig_w[v]] + wv <= max(peak, eps):
+                    w_min = orig_w[v]
+                elif prev_w is not None and loads[prev_w] <= loads[w_min] + quantum:
+                    w_min = prev_w
+                fits = loads[w_min] + wv <= max(peak, eps)
+                if must or fits:
+                    self.sp[v] = s
+                    self.wp[v] = w_min
+                    loads[w_min] += wv
+                    peak = max(peak, loads[w_min])
+                    prev_w = w_min
+                else:
+                    nxt.append(v)
+            remaining = nxt
+        for v in remaining:
+            s = min(max(int(lo[v]), 0), b - 1)
+            w = self._least_loaded(s)
+            self._place(v, s, w)
+
+    # -- step 3 ---------------------------------------------------------
+    def build_schedule(self, packing: str) -> FusedSchedule:
+        s_partitions: list[list[np.ndarray]] = []
+        for s in range(self.n_sparts):
+            verts = np.nonzero(self.sp == s)[0]
+            wlist = []
+            for w in sorted({int(x) for x in self.wp[verts]}):
+                grp = np.sort(verts[self.wp[verts] == w])
+                if grp.shape[0] == 0:
+                    continue
+                if packing == "interleaved":
+                    grp = self._interleave(grp)
+                wlist.append(grp.astype(INDEX_DTYPE))
+            if wlist:
+                s_partitions.append(wlist)
+        loop_counts = tuple(d.n for d in self.dags)
+        return FusedSchedule(loop_counts, s_partitions, packing=packing)
+
+    def _interleave(self, verts: np.ndarray) -> np.ndarray:
+        sptr, sidx = self._g_succ
+        pptr, pidx = self._g_pred
+        member = {int(v): k for k, v in enumerate(verts)}
+        indeg = np.zeros(verts.shape[0], dtype=INDEX_DTYPE)
+        for k, v in enumerate(verts.tolist()):
+            for p in pidx[pptr[v] : pptr[v + 1]].tolist():
+                if p in member:
+                    indeg[k] += 1
+        order: list[int] = []
+        stack = [int(v) for v in verts[indeg == 0][::-1].tolist()]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            ready = []
+            for c in sidx[sptr[v] : sptr[v + 1]].tolist():
+                k = member.get(c)
+                if k is not None:
+                    indeg[k] -= 1
+                    if indeg[k] == 0:
+                        ready.append(c)
+            for c in sorted(ready, reverse=True):
+                stack.append(c)
+        if len(order) != verts.shape[0]:  # pragma: no cover - safety net
+            raise AssertionError("interleaved packing failed to order partition")
+        return np.asarray(order, dtype=INDEX_DTYPE)

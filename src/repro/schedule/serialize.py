@@ -39,13 +39,19 @@ def pattern_fingerprint(*operands) -> str:
     """SHA-256 over the structure (not values) of sparse operands.
 
     Accepts any objects exposing ``indptr``/``indices`` arrays
-    (:class:`CSRMatrix`, :class:`CSCMatrix`, :class:`DAG`, ...); the
-    digest changes iff any pattern changes — exactly the schedule-reuse
+    (:class:`CSRMatrix`, :class:`CSCMatrix`, :class:`DAG`, ...) or
+    ``row_indptr``/``row_indices`` (:class:`InterDep`); the digest
+    changes iff any pattern changes — exactly the schedule-reuse
     condition.
     """
     h = hashlib.sha256()
     for op in operands:
-        for attr in ("indptr", "indices"):
+        attrs = (
+            ("indptr", "indices")
+            if hasattr(op, "indptr")
+            else ("row_indptr", "row_indices")
+        )
+        for attr in attrs:
             arr = np.ascontiguousarray(getattr(op, attr), dtype=INDEX_DTYPE)
             h.update(attr.encode())
             h.update(arr.shape[0].to_bytes(8, "little"))

@@ -17,11 +17,14 @@ class TestNER:
     def test_positive_when_executor_faster(self):
         assert ner(10.0, 5.0, 1.0) == pytest.approx(2.5)
 
-    def test_negative_when_executor_slower(self):
-        assert ner(10.0, 1.0, 5.0) < 0
+    def test_sentinel_when_executor_slower(self):
+        assert ner(10.0, 1.0, 5.0) == float("inf")
 
     def test_infinite_when_equal(self):
         assert ner(10.0, 2.0, 2.0) == float("inf")
+
+    def test_sentinel_on_near_tie(self):
+        assert ner(10.0, 2.0, 2.0 - 1e-13) == float("inf")
 
 
 class TestEdgeGrowth:

@@ -1,0 +1,327 @@
+"""Equivalence suite: vectorized inspector vs the frozen reference.
+
+The vectorized LBC/ICO paths (:mod:`repro.schedule.partition_utils`,
+:mod:`repro.schedule.lbc`, :mod:`repro.schedule.ico`) must reproduce the
+per-vertex seed implementations preserved in
+:mod:`repro.schedule.reference`:
+
+* LBC is **bit-identical** — same windows, same components, same
+  packing, because every tie-break is order-preserved;
+* ICO is **equivalent** — the stream waterfill and the conservative
+  slack pool diverge from the sequential seed by design, so the
+  contract is dependence validity plus s-partition count and makespan
+  parity (never meaningfully worse than the reference).
+
+Plus hit/miss/stale-fingerprint behaviour of the pattern-keyed schedule
+cache and the DAG memo carrying rules the cache leans on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fusion import build_combination, fuse
+from repro.graph import DAG, InterDep
+from repro.schedule import (
+    ScheduleCache,
+    ico_schedule,
+    lbc_schedule,
+    schedule_key,
+    set_default_cache,
+    validate_schedule,
+)
+from repro.schedule.partition_utils import UnionFind, window_components
+from repro.schedule.reference import (
+    ListUnionFind,
+    ico_schedule_reference,
+    lbc_schedule_reference,
+    window_components_reference,
+)
+from repro.sparse import random_lower_triangular, random_spd
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_dags(draw, max_n=50):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    m = draw(st.integers(min_value=0, max_value=3 * n))
+    if m and n > 1:
+        u = rng.integers(0, n - 1, size=m)
+        span = (rng.random(m) * (n - 1 - u)).astype(np.int64) + 1
+        edges = np.stack([u, u + span], axis=1)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    weights = rng.random(n) + 0.1
+    return DAG.from_edges(n, edges, weights)
+
+
+@st.composite
+def dag_pairs_with_inter(draw):
+    g1 = draw(random_dags(max_n=40))
+    g2 = draw(random_dags(max_n=40))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    m = draw(st.integers(min_value=0, max_value=2 * max(g1.n, g2.n)))
+    if m:
+        j = rng.integers(0, g1.n, size=m)
+        i = rng.integers(0, g2.n, size=m)
+        f = InterDep.from_edges(g2.n, g1.n, np.stack([j, i], axis=1))
+    else:
+        f = InterDep.empty(g2.n, g1.n)
+    return g1, g2, f
+
+
+def _flat(sched):
+    return [w for wlist in sched.s_partitions for w in wlist]
+
+
+def _makespan(sched, weights):
+    out = 0.0
+    for w in sched.partition_costs(weights):
+        w = np.asarray(w)
+        out += float(w.max()) if w.size else 0.0
+    return out
+
+
+class TestUnionFindBulk:
+    @SETTINGS
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_unite_edges_matches_scalar(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        uf = UnionFind(n)
+        ref = ListUnionFind(n)
+        merged = uf.unite_edges(src, dst)
+        merged_ref = sum(ref.union(int(a), int(b)) for a, b in zip(src, dst))
+        assert merged == merged_ref
+        roots = uf.find_many(np.arange(n))
+        ref_roots = [ref.find(v) for v in range(n)]
+        # same partition structure (root *ids* may legitimately differ:
+        # min-id hooking vs the seed's union-by-size)
+        def canon(rs):
+            first = {}
+            return [first.setdefault(r, len(first)) for r in rs]
+
+        assert canon(roots.tolist()) == canon(ref_roots)
+
+    def test_scalar_api_composes_with_bulk(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.unite_edges(np.array([2, 3]), np.array([3, 4]))
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) == uf.find(4)
+        assert uf.find(0) != uf.find(2)
+
+
+class TestWindowComponents:
+    @SETTINGS
+    @given(random_dags(), st.integers(min_value=0, max_value=10_000))
+    def test_matches_reference_order_and_content(self, dag, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, dag.n + 1))
+        verts = np.sort(rng.choice(dag.n, size=k, replace=False))
+        member = np.zeros(dag.n, dtype=bool)
+        member[verts] = True
+        got = window_components(dag, verts, member)
+        want = window_components_reference(dag, verts, member)
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+
+class TestLbcBitEquivalence:
+    @SETTINGS
+    @given(random_dags(), st.sampled_from([1, 2, 4, 8]))
+    def test_identical_partitions(self, dag, r):
+        got = lbc_schedule(dag, r)
+        want = lbc_schedule_reference(dag, r)
+        assert len(got.s_partitions) == len(want.s_partitions)
+        for gs, ws in zip(got.s_partitions, want.s_partitions):
+            assert len(gs) == len(ws)
+            for gw, ww in zip(gs, ws):
+                assert np.array_equal(gw, ww)
+        validate_schedule(got, [dag], {})
+
+    @pytest.mark.parametrize("r", [1, 4, 8])
+    def test_identical_on_trsv_dag(self, r):
+        a = random_lower_triangular(300, 4.0, seed=7)
+        from repro.kernels import SpTRSVCSR
+
+        dag = SpTRSVCSR(a).intra_dag()
+        got = _flat(lbc_schedule(dag, r))
+        want = _flat(lbc_schedule_reference(dag, r))
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
+
+
+class TestIcoEquivalence:
+    @SETTINGS
+    @given(dag_pairs_with_inter(), st.sampled_from([1, 4, 8]),
+           st.sampled_from([0.5, 1.5]))
+    def test_valid_on_random_pairs(self, pair, r, reuse):
+        # On arbitrary (often degenerate) random pairs the vectorized
+        # merge pass may legally fuse *more* s-partitions than the
+        # sequential seed, so the oracle here is the dependence check +
+        # full coverage; makespan/structure parity is asserted on the
+        # realistic Table-1 combos below.
+        g1, g2, f = pair
+        dags = [g1, g2]
+        inter = {(0, 1): f} if f.nnz else {}
+        got = ico_schedule(dags, inter, r, reuse)
+        validate_schedule(got, dags, inter)
+        scheduled = np.sort(np.concatenate(_flat(got))) if g1.n + g2.n else []
+        assert np.array_equal(scheduled, np.arange(g1.n + g2.n))
+
+    @pytest.mark.parametrize("combo", [1, 2, 3, 4, 5, 6])
+    def test_table1_combos(self, combo):
+        a = random_spd(250, 0.05, seed=11)
+        kernels, _ = build_combination(combo, a)
+        from repro.fusion.fused import inspect_loops
+
+        dags, inter, reuse = inspect_loops(kernels)
+        weights = np.concatenate([d.weights for d in dags])
+        for r in (4, 8):
+            got = ico_schedule(dags, inter, r, reuse)
+            validate_schedule(got, dags, inter)
+            want = ico_schedule_reference(dags, inter, r, reuse)
+            assert len(got.s_partitions) == len(want.s_partitions)
+            assert _makespan(got, weights) <= _makespan(want, weights) * 1.15
+
+
+class TestScheduleCache:
+    def _problem(self, n=150, seed=3):
+        a = random_lower_triangular(n, 3.0, seed=seed)
+        from repro.kernels import SpMVCSR, SpTRSVCSR
+
+        return [SpTRSVCSR(a), SpMVCSR(a, x_var="x", y_var="z")]
+
+    def test_fuse_hit_returns_identical_schedule(self):
+        kernels = self._problem()
+        cache = ScheduleCache()
+        f1 = fuse(kernels, 4, cache=cache)
+        f2 = fuse(kernels, 4, cache=cache)
+        assert f1.meta["cache"] == "miss" and f2.meta["cache"] == "hit"
+        assert cache.stats["hits"] == 1 and cache.stats["misses"] == 1
+        for w1, w2 in zip(_flat(f1.schedule), _flat(f2.schedule)):
+            assert np.array_equal(w1, w2)
+        f2.validate()
+
+    def test_key_sensitivity(self):
+        kernels = self._problem()
+        from repro.fusion.fused import inspect_loops
+
+        dags, inter, reuse = inspect_loops(kernels)
+        base = schedule_key(dags, inter, "ico", 4, reuse, {})
+        assert schedule_key(dags, inter, "ico", 8, reuse, {}) != base
+        assert schedule_key(dags, inter, "joint-lbc", 4, reuse, {}) != base
+        assert (
+            schedule_key(dags, inter, "ico", 4, reuse, {"initial_cut": 2})
+            != base
+        )
+        other, oi, _ = inspect_loops(self._problem(seed=4))
+        assert schedule_key(other, oi, "ico", 4, reuse, {}) != base
+        # weights matter even with the same pattern
+        heavier = [
+            DAG(d.n, d.indptr, d.indices, d.weights * 2.0, check=False)
+            for d in dags
+        ]
+        assert schedule_key(heavier, inter, "ico", 4, reuse, {}) != base
+
+    def test_disk_roundtrip_and_stale_fingerprint(self, tmp_path):
+        kernels = self._problem()
+        cache = ScheduleCache(directory=tmp_path)
+        f1 = fuse(kernels, 4, cache=cache)
+        assert f1.meta["cache"] == "miss"
+        cache.clear()  # drop the memory tier: force the disk path
+        f2 = fuse(kernels, 4, cache=cache)
+        assert f2.meta["cache"] == "hit" and cache.disk_hits == 1
+        f2.validate()
+        # a stale/corrupted store fails closed: treated as a miss
+        stale = ScheduleCache(directory=tmp_path)
+        for p in tmp_path.glob("sched-*.npz"):
+            other = tmp_path / ("sched-" + "0" * 64 + ".npz")
+            p.rename(other)
+        f3 = fuse(kernels, 4, cache=stale)
+        assert f3.meta["cache"] == "miss"
+
+    def test_lru_eviction(self):
+        cache = ScheduleCache(maxsize=1)
+        k1 = self._problem(seed=5)
+        k2 = self._problem(seed=6)
+        fuse(k1, 4, cache=cache)
+        fuse(k2, 4, cache=cache)  # evicts k1's entry
+        assert len(cache) == 1
+        f = fuse(k1, 4, cache=cache)
+        assert f.meta["cache"] == "miss"
+
+    def test_default_cache(self):
+        kernels = self._problem()
+        previous = set_default_cache(ScheduleCache())
+        try:
+            f1 = fuse(kernels, 4)
+            f2 = fuse(kernels, 4)
+            assert f1.meta["cache"] == "miss" and f2.meta["cache"] == "hit"
+        finally:
+            set_default_cache(previous)
+        f3 = fuse(kernels, 4)
+        assert f3.meta["cache"] is None
+
+
+class TestDagMemos:
+    def test_slack_memoized(self):
+        dag = DAG.from_edges(5, [(0, 2), (1, 2), (2, 4)])
+        s1 = dag.slack_numbers()
+        assert dag.slack_numbers() is s1
+
+    def test_transpose_carries_memos(self):
+        a = random_lower_triangular(120, 3.0, seed=9)
+        from repro.kernels import SpTRSVCSR
+
+        dag = SpTRSVCSR(a).intra_dag()
+        dag.levels()
+        dag.heights()
+        dag.slack_numbers()
+        t = dag.transpose()
+        assert t._levels is dag._heights and t._heights is dag._levels
+        assert np.array_equal(t.levels(), dag.heights())
+        assert np.array_equal(t.slack_numbers(), dag.slack_numbers())
+        assert np.array_equal(
+            t.topological_order(), dag.topological_order()[::-1]
+        )
+        t.validate_schedulable()
+
+    def test_transpose_cold_memos_still_correct(self):
+        dag = DAG.from_edges(6, [(0, 3), (1, 3), (3, 5), (2, 4)])
+        t = dag.transpose()
+        assert np.array_equal(t.levels(), dag.heights())
+
+    def test_induced_subgraph_edges(self):
+        rng = np.random.default_rng(17)
+        a = random_lower_triangular(60, 3.0, seed=17)
+        from repro.kernels import SpTRSVCSR
+
+        dag = SpTRSVCSR(a).intra_dag()
+        verts = np.sort(rng.choice(dag.n, size=30, replace=False))
+        sub, vmap = dag.induced_subgraph(verts)
+        local = {int(v): k for k, v in enumerate(verts)}
+        want = {
+            (local[int(u)], local[int(v)])
+            for u, v in dag.edge_list()
+            if int(u) in local and int(v) in local
+        }
+        assert set(map(tuple, sub.edge_list().tolist())) == want
+        assert np.array_equal(vmap, verts)
