@@ -1,0 +1,25 @@
+"""Benchmark regression guard — thin wrapper over ``repro bench-diff``.
+
+Usage (from the repo root)::
+
+    python benchmarks/regress.py --smoke                 # CI guardrail
+    python benchmarks/regress.py --fresh /tmp/results    # diff vs baseline
+
+The logic lives in :mod:`repro.analytics.regress`; this wrapper just
+makes the guard runnable next to the ``bench_*.py`` modules without an
+installed package.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.cli import main
+except ImportError:  # running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-diff", *sys.argv[1:]]))

@@ -1,0 +1,32 @@
+"""Attributed execution analytics.
+
+Two consumers of the simulated machine's per-thread time-accounting
+tables (:class:`repro.runtime.machine.MachineReport`):
+
+* :mod:`repro.analytics.doctor` — the **schedule doctor**: rule-based
+  findings ("41% idle in s-partition 3", "barrier cost is 30% of the
+  makespan") with evidence tied to the accounting tables and hints on
+  what to change. ``repro doctor`` on the CLI, ``--doctor`` on
+  ``compare``/``gs``.
+* :mod:`repro.analytics.regress` — the **benchmark regression guard**:
+  diffs fresh ``benchmarks/results/*.json`` against the committed
+  baselines with per-metric noise thresholds. ``repro bench-diff`` on
+  the CLI; ``--smoke`` is the CI guardrail mode.
+
+See the "Attribution and the schedule doctor" section of
+``docs/observability.md``.
+"""
+
+from .doctor import DoctorReport, DoctorThresholds, Finding, diagnose
+from .regress import DiffRow, diff_dirs, diff_payloads, extract_metrics
+
+__all__ = [
+    "DoctorReport",
+    "DoctorThresholds",
+    "Finding",
+    "diagnose",
+    "DiffRow",
+    "diff_dirs",
+    "diff_payloads",
+    "extract_metrics",
+]

@@ -17,10 +17,19 @@ Commands
     prints a per-stage summary table and writes a unified Perfetto
     trace (plus optional JSONL / Prometheus text dumps). See
     ``docs/observability.md``.
+``doctor``
+    Run the schedule doctor on one combination: simulate, attribute
+    the cycles, and print ranked findings with evidence and hints
+    (:mod:`repro.analytics.doctor`).
+``bench-diff``
+    Benchmark regression guard: diff fresh ``benchmarks/results``
+    JSONs against the committed baselines, or run the ``--smoke``
+    absolute-floor checks (the CI guardrail).
 
 ``fuse``, ``compare`` and ``gs`` also accept ``--trace PATH`` to record
 the run and write the unified Perfetto trace alongside their normal
-output.
+output; ``compare`` and ``gs`` accept ``--doctor`` to append the
+schedule doctor's findings.
 
 Matrix specs are either a Matrix Market path (``path/to/m.mtx``) or a
 synthetic generator spec: ``lap2d:N``, ``lap3d:N``, ``fe3d:N``,
@@ -63,7 +72,12 @@ from .sparse import (
     read_matrix_market,
 )
 
-__all__ = ["main", "parse_matrix_spec"]
+__all__ = ["main", "parse_matrix_spec", "CLIError"]
+
+
+class CLIError(Exception):
+    """A user-facing CLI failure: printed as ``error: ...`` (no
+    traceback) and turned into exit code 2 by :func:`main`."""
 
 
 def _version() -> str:
@@ -142,13 +156,28 @@ def _pipeline_summary(rec) -> str:
     )
 
 
+def _write_artifact(what, path, write):
+    """Run *write* (a ``path -> path`` callable); turn filesystem
+    failures (missing directory, permissions, path-is-a-directory) into
+    a clear :class:`CLIError` instead of a traceback."""
+    try:
+        return write(path)
+    except (OSError, IsADirectoryError) as exc:
+        detail = exc.strerror or str(exc)
+        raise CLIError(f"cannot write {what} to '{path}': {detail}") from exc
+
+
 def _write_unified_trace(rec, path, schedule, kernels, n_threads) -> None:
-    out = export_perfetto(
-        rec,
+    out = _write_artifact(
+        "unified trace",
         path,
-        schedule=schedule,
-        kernels=kernels,
-        config=MachineConfig(n_threads=n_threads),
+        lambda p: export_perfetto(
+            rec,
+            p,
+            schedule=schedule,
+            kernels=kernels,
+            config=MachineConfig(n_threads=n_threads),
+        ),
     )
     print(f"unified trace written to {out} (open at https://ui.perfetto.dev)")
 
@@ -247,6 +276,9 @@ def _cmd_compare(args) -> int:
         f"({args.executor} executor)"
     )
     print(_pipeline_summary(rec))
+    if args.doctor:
+        print()
+        _run_doctor(results["sparse-fusion"].schedule, kernels, args)
     if args.trace:
         sched = results["sparse-fusion"].schedule
         _write_unified_trace(rec, args.trace, sched, kernels, args.threads)
@@ -283,9 +315,15 @@ def _cmd_gs(args) -> int:
         f"{res.meta['chunks']} chunks of {2 * args.unroll} fused loops"
     )
     print(_pipeline_summary(rec))
-    if args.trace:
+    if args.doctor or args.trace:
         kernels, _, _ = build_gs_chain(a, args.unroll)
-        _write_unified_trace(rec, args.trace, res.schedule, kernels, args.threads)
+        if args.doctor:
+            print()
+            _run_doctor(res.schedule, kernels, args)
+        if args.trace:
+            _write_unified_trace(
+                rec, args.trace, res.schedule, kernels, args.threads
+            )
     return 0
 
 
@@ -305,11 +343,109 @@ def _cmd_trace(args) -> int:
     print(format_summary(rec, title=f"pipeline trace ({args.scheduler})"))
     _write_unified_trace(rec, args.out, fl.schedule, kernels, args.threads)
     if args.jsonl:
-        print(f"JSONL event log written to {export_jsonl(rec, args.jsonl)}")
+        out = _write_artifact(
+            "JSONL event log", args.jsonl, lambda p: export_jsonl(rec, p)
+        )
+        print(f"JSONL event log written to {out}")
     if args.prom:
-        export_prometheus(rec, args.prom)
+        _write_artifact(
+            "Prometheus text", args.prom, lambda p: export_prometheus(rec, p)
+        )
         print(f"Prometheus text written to {args.prom}")
     return 0
+
+
+def _run_doctor(schedule, kernels, args, *, fidelity=None, json_path=None, top=5):
+    """Shared doctor driver: diagnose, print, optionally dump JSON."""
+    import json as _json
+
+    from .analytics import diagnose
+
+    report = diagnose(
+        schedule,
+        kernels,
+        MachineConfig(n_threads=args.threads),
+        fidelity=fidelity or getattr(args, "fidelity", "flat"),
+    )
+    print(report.format_table(top=top or None))
+    if json_path:
+        _write_artifact(
+            "doctor report",
+            json_path,
+            lambda p: _write_text(p, _json.dumps(report.to_json(), indent=2)),
+        )
+        print(f"doctor report written to {json_path}")
+    return report
+
+
+def _write_text(path, text):
+    from pathlib import Path
+
+    Path(path).write_text(text)
+    return path
+
+
+def _cmd_doctor(args) -> int:
+    a = _load(args)
+    kernels, _ = build_combination(args.combo, a)
+    combo = COMBINATIONS[args.combo]
+    rec, ctx = _start_recording(args)
+    with ctx:
+        fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+    print(f"combination {args.combo} ({combo.name}): {combo.operations}")
+    print(
+        f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing, "
+        f"{fl.schedule.n_spartitions} s-partitions\n"
+    )
+    _run_doctor(
+        fl.schedule,
+        kernels,
+        args,
+        fidelity=args.fidelity,
+        json_path=args.json,
+        top=args.top,
+    )
+    if args.trace:
+        _write_unified_trace(rec, args.trace, fl.schedule, kernels, args.threads)
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    import json as _json
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from .analytics.regress import (
+        diff_dirs,
+        format_diff_table,
+        has_regressions,
+        smoke_check,
+    )
+
+    if args.smoke:
+        if not Path(args.bench_dir).is_dir():
+            raise CLIError(f"benchmark directory '{args.bench_dir}' not found")
+        rows = smoke_check(args.bench_dir, verbose=args.verbose)
+    else:
+        if args.fresh is None:
+            raise CLIError("--fresh DIR is required (or use --smoke)")
+        for label, d in (("baseline", args.baseline), ("fresh", args.fresh)):
+            if not Path(d).is_dir():
+                raise CLIError(f"{label} results directory '{d}' not found")
+        rows = diff_dirs(args.baseline, args.fresh, benches=args.bench or None)
+    if not rows:
+        raise CLIError("no benchmark results to compare")
+    print(format_diff_table(rows, only_interesting=args.only_interesting))
+    if args.json:
+        _write_artifact(
+            "bench-diff report",
+            args.json,
+            lambda p: _write_text(
+                p, _json.dumps([asdict(r) for r in rows], indent=2)
+            ),
+        )
+        print(f"bench-diff report written to {args.json}")
+    return 1 if has_regressions(rows) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -323,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def common(sp, *, trace=False, executor=False):
+    def common(sp, *, trace=False, executor=False, doctor=False):
         sp.add_argument("--matrix", default="lap3d:10", help="matrix spec")
         sp.add_argument(
             "--ordering",
@@ -346,6 +482,13 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="DIR",
                 help="memoize schedules by pattern fingerprint (bare flag: "
                 "in-memory for this run; with DIR: persistent on-disk store)",
+            )
+        if doctor:
+            sp.add_argument(
+                "--doctor",
+                action="store_true",
+                help="append the schedule doctor's ranked findings "
+                "(see `repro doctor`)",
             )
         if executor:
             sp.add_argument(
@@ -379,12 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=_cmd_fuse)
 
     sp = sub.add_parser("compare", help="compare all implementations")
-    common(sp, trace=True, executor=True)
+    common(sp, trace=True, executor=True, doctor=True)
     sp.add_argument("--combo", type=int, default=4, choices=sorted(COMBINATIONS))
     sp.set_defaults(fn=_cmd_compare)
 
     sp = sub.add_parser("gs", help="fused Gauss-Seidel solve")
-    common(sp, trace=True, executor=True)
+    common(sp, trace=True, executor=True, doctor=True)
     sp.add_argument("--unroll", type=int, default=2)
     sp.add_argument("--tol", type=float, default=1e-8)
     sp.add_argument("--max-iters", type=int, default=2000)
@@ -414,13 +557,76 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--jsonl", help="also write a JSONL event log")
     sp.add_argument("--prom", help="also write Prometheus text metrics")
     sp.set_defaults(fn=_cmd_trace)
+
+    sp = sub.add_parser(
+        "doctor", help="diagnose a schedule: attribution + ranked findings"
+    )
+    common(sp, trace=True)
+    sp.add_argument("--combo", type=int, default=1, choices=sorted(COMBINATIONS))
+    sp.add_argument(
+        "--scheduler",
+        default="ico",
+        choices=("ico", "joint-wavefront", "joint-lbc", "joint-dagp", "joint-hdagg"),
+    )
+    sp.add_argument(
+        "--fidelity",
+        default="flat",
+        choices=("flat", "cache"),
+        help="'cache' runs the LRU simulator and enables the locality rules",
+    )
+    sp.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+    sp.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        help="show only the top N findings (0 = all)",
+    )
+    sp.set_defaults(fn=_cmd_doctor)
+
+    sp = sub.add_parser(
+        "bench-diff", help="benchmark regression guard (see docs/observability.md)"
+    )
+    sp.add_argument(
+        "--baseline",
+        default="benchmarks/results",
+        help="committed baseline results directory",
+    )
+    sp.add_argument("--fresh", help="fresh results directory to judge")
+    sp.add_argument(
+        "--bench",
+        action="append",
+        help="restrict to this benchmark name (repeatable)",
+    )
+    sp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the smoke benchmarks in-process and check absolute "
+        "floors (the CI guardrail; ignores --baseline/--fresh)",
+    )
+    sp.add_argument(
+        "--bench-dir",
+        default="benchmarks",
+        help="directory holding the bench_*.py modules (--smoke)",
+    )
+    sp.add_argument(
+        "--only-interesting",
+        action="store_true",
+        help="hide metrics that are within tolerance",
+    )
+    sp.add_argument("--json", metavar="PATH", help="also write the verdicts as JSON")
+    sp.add_argument("--verbose", action="store_true", help="benchmark chatter")
+    sp.set_defaults(fn=_cmd_bench_diff)
     return p
 
 
 def main(argv=None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,6 +19,7 @@ from ..graph.interdep import InterDep
 from ..graph.joint import build_joint_dag
 from ..kernels.base import Kernel, State
 from ..obs import current as current_recorder
+from ..obs import names
 from ..runtime.executor import allocate_state, execute_schedule, run_reference
 from ..runtime.machine import MachineConfig, MachineReport, SimulatedMachine
 from ..runtime.threaded import ThreadedExecutor
@@ -132,9 +133,9 @@ def inspect_loops(
         sp.set(pairs=len(inter))
     with rec.span("inspector.reuse"):
         reuse = compute_reuse(kernels[0], kernels[1]) if len(kernels) > 1 else 0.0
-    rec.count("inspector.vertices", sum(d.n for d in dags))
-    rec.count("inspector.intra_edges", sum(d.n_edges for d in dags))
-    rec.count("inspector.inter_edges", sum(f.nnz for f in inter.values()))
+    rec.count(names.INSPECTOR_VERTICES, sum(d.n for d in dags))
+    rec.count(names.INSPECTOR_INTRA_EDGES, sum(d.n_edges for d in dags))
+    rec.count(names.INSPECTOR_INTER_EDGES, sum(f.nnz for f in inter.values()))
     return dags, inter, reuse
 
 
@@ -203,9 +204,9 @@ def fuse(
                 sched = cache.get(key)
             cache_state = "miss" if sched is None else "hit"
             rec.count(
-                "inspector.cache_misses"
+                names.INSPECTOR_CACHE_MISSES
                 if sched is None
-                else "inspector.cache_hits",
+                else names.INSPECTOR_CACHE_HITS,
                 1,
             )
         if sched is None:
@@ -221,7 +222,7 @@ def fuse(
             if cache is not None:
                 cache.put(key, sched)
     inspector_seconds = inspect_span.seconds
-    rec.count("inspector.seconds", inspector_seconds)
+    rec.count(names.INSPECTOR_SECONDS, inspector_seconds)
     fused = FusedLoops(
         kernels=list(kernels),
         dags=dags,

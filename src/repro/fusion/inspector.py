@@ -24,6 +24,7 @@ import numpy as np
 from ..graph.interdep import InterDep
 from ..kernels.base import Kernel, internal_var
 from ..obs import current as current_recorder
+from ..obs import names
 from ..sparse.base import INDEX_DTYPE
 
 __all__ = ["build_inter_dep", "compute_reuse", "shared_variables"]
@@ -118,7 +119,7 @@ def build_inter_dep(
             edges = np.empty((0, 2), dtype=INDEX_DTYPE)
         f = InterDep.from_edges(k2.n_iterations, k1.n_iterations, edges)
         sp.set(shared_vars=len(shared), raw_edges=int(edges.shape[0]), nnz=f.nnz)
-        rec.count("inspector.join_edges", f.nnz)
+        rec.count(names.INSPECTOR_JOIN_EDGES, f.nnz)
     return f
 
 

@@ -6,6 +6,7 @@ Perfetto trace, console summary, Prometheus text). ``docs/observability.md``
 is the user guide.
 """
 
+from . import names
 from .exporters import (
     export_jsonl,
     export_perfetto,
@@ -24,6 +25,7 @@ from .recorder import (
 )
 
 __all__ = [
+    "names",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",

@@ -8,8 +8,10 @@ Four output formats, all fed from one :class:`~repro.obs.Recorder`:
   the **live** inspector spans; pass ``schedule=`` + ``kernels=`` to
   append the **simulated** executor timeline from
   :func:`repro.runtime.trace.simulated_trace_events` as a second
-  process track — the unified inspector→executor trace. Open the file
-  at https://ui.perfetto.dev.
+  process track — the unified inspector→executor trace, including the
+  per-s-partition attribution **counter tracks** (compute / memory /
+  wait / barrier cycles and idle fraction) merged under the executor
+  process. Open the file at https://ui.perfetto.dev.
 * :func:`format_summary` — a console table of per-span totals plus
   counters (what ``repro trace`` prints).
 * :func:`export_prometheus` — Prometheus text exposition format
@@ -127,16 +129,24 @@ def export_perfetto(
         )
 
     total_sim_us = 0.0
+    attribution = None
     if schedule is not None and kernels is not None:
+        from ..runtime.machine import MachineConfig, SimulatedMachine
         from ..runtime.trace import simulated_trace_events
 
+        cfg = config or MachineConfig()
+        report = SimulatedMachine(cfg).simulate(
+            schedule, kernels, fidelity=fidelity
+        )
+        attribution = report.attribution()
         sim_events, total_sim_us = simulated_trace_events(
             schedule,
             kernels,
-            config,
+            cfg,
             fidelity=fidelity,
             t0_us=end_us,
             pid=EXECUTOR_PID,
+            report=report,
         )
         events.extend(sim_events)
         events.append(_process_name(EXECUTOR_PID, "executor (simulated)"))
@@ -148,6 +158,7 @@ def export_perfetto(
             "live_spans": len(rec.spans),
             "counters": dict(rec.counters),
             "total_simulated_us": total_sim_us,
+            "executor_attribution": attribution,
         },
     }
     path = Path(path)

@@ -1,0 +1,115 @@
+"""Canonical dotted metric names — the one counter-name registry.
+
+Every counter the pipeline emits is declared here once, as a module
+constant plus a ``REGISTRY`` entry carrying its unit and meaning.
+Emission sites import the constants instead of re-typing strings, so a
+renamed metric is a one-file change and a typo is an ``AttributeError``
+instead of a silently-forked counter. ``docs/observability.md``'s
+counter table is generated from the same registry semantics (name,
+unit, description).
+
+Naming scheme: ``<subsystem>.<metric>`` where the subsystem matches the
+span prefix of the emitting stage (``inspector.*``, ``ico.*``,
+``lbc.*``, ``plan.*``, ``executor.*``, ``cache.*``, ``gs.*``).
+Simulated-machine attribution counters use the ``executor.sim_*``
+prefix to mark that they are model cycles, not wall clock.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGISTRY", "all_names", "describe"]
+
+# -- inspector ---------------------------------------------------------
+INSPECTOR_SECONDS = "inspector.seconds"
+INSPECTOR_CACHE_HITS = "inspector.cache_hits"
+INSPECTOR_CACHE_MISSES = "inspector.cache_misses"
+INSPECTOR_VERTICES = "inspector.vertices"
+INSPECTOR_INTRA_EDGES = "inspector.intra_edges"
+INSPECTOR_INTER_EDGES = "inspector.inter_edges"
+INSPECTOR_JOIN_EDGES = "inspector.join_edges"
+
+# -- schedulers --------------------------------------------------------
+ICO_VERTICES = "ico.vertices"
+ICO_MERGED_SPARTITIONS = "ico.merged_spartitions"
+ICO_SPARTITIONS = "ico.spartitions"
+ICO_PREAMBLE_VERTICES = "ico.preamble_vertices"
+ICO_SLACK_POOLED = "ico.slack_pooled"
+LBC_LEVELS = "lbc.levels"
+LBC_SPARTITIONS = "lbc.spartitions"
+
+# -- compiled plans ----------------------------------------------------
+PLAN_COMPILE_SECONDS = "plan.compile_seconds"
+PLAN_LEVEL_STEPS = "plan.level_steps"
+PLAN_CACHE_HITS = "plan.cache_hits"
+PLAN_CACHE_MISSES = "plan.cache_misses"
+
+# -- executors (wall clock) -------------------------------------------
+EXECUTOR_ITERATIONS = "executor.iterations"
+EXECUTOR_BATCHED_ITERATIONS = "executor.batched_iterations"
+EXECUTOR_SCALAR_ITERATIONS = "executor.scalar_iterations"
+EXECUTOR_BATCHES = "executor.batches"
+EXECUTOR_LEVEL_COUNT = "executor.level_count"
+
+# -- simulated machine attribution (model cycles, not wall clock) -----
+EXECUTOR_SIM_COMPUTE_CYCLES = "executor.sim_compute_cycles"
+EXECUTOR_SIM_MEMORY_CYCLES = "executor.sim_memory_cycles"
+EXECUTOR_SIM_WAIT_CYCLES = "executor.sim_wait_cycles"
+EXECUTOR_SIM_BARRIER_CYCLES = "executor.sim_barrier_cycles"
+EXECUTOR_SIM_MAKESPAN_CYCLES = "executor.sim_makespan_cycles"
+
+# -- cache simulator ---------------------------------------------------
+CACHE_ACCESSES = "cache.accesses"
+CACHE_L1_HITS = "cache.l1_hits"
+CACHE_LLC_HITS = "cache.llc_hits"
+CACHE_MISSES = "cache.misses"
+
+# -- solvers -----------------------------------------------------------
+GS_CHUNKS = "gs.chunks"
+
+#: name -> (unit, description). The unit is what a consumer may sum or
+#: average; "1" marks dimensionless counts.
+REGISTRY: dict[str, tuple[str, str]] = {
+    INSPECTOR_SECONDS: ("s", "wall-clock inspection cost (Fig. 7 numerator)"),
+    INSPECTOR_CACHE_HITS: ("1", "pattern-keyed schedule-cache hits"),
+    INSPECTOR_CACHE_MISSES: ("1", "pattern-keyed schedule-cache misses"),
+    INSPECTOR_VERTICES: ("1", "iterations across all fused loops"),
+    INSPECTOR_INTRA_EDGES: ("1", "intra-DAG dependence edges"),
+    INSPECTOR_INTER_EDGES: ("1", "inter-kernel (F-matrix) edges"),
+    INSPECTOR_JOIN_EDGES: ("1", "edges produced by one inter-DAG join"),
+    ICO_VERTICES: ("1", "vertices entering ICO"),
+    ICO_MERGED_SPARTITIONS: ("1", "s-partitions removed by ICO merging"),
+    ICO_SPARTITIONS: ("1", "s-partitions in the final ICO schedule"),
+    ICO_PREAMBLE_VERTICES: ("1", "vertices forced into the ICO preamble"),
+    ICO_SLACK_POOLED: ("1", "vertices moved by slack re-balancing"),
+    LBC_LEVELS: ("1", "wavefront levels seen by LBC"),
+    LBC_SPARTITIONS: ("1", "s-partitions produced by LBC"),
+    PLAN_COMPILE_SECONDS: ("s", "wall-clock spent compiling execution plans"),
+    PLAN_LEVEL_STEPS: ("1", "level-batched steps in compiled plans"),
+    PLAN_CACHE_HITS: ("1", "memoized-plan hits on schedule.meta"),
+    PLAN_CACHE_MISSES: ("1", "plan compilations (cache misses)"),
+    EXECUTOR_ITERATIONS: ("1", "iterations executed (any executor)"),
+    EXECUTOR_BATCHED_ITERATIONS: ("1", "iterations executed vectorized"),
+    EXECUTOR_SCALAR_ITERATIONS: ("1", "iterations executed scalar"),
+    EXECUTOR_BATCHES: ("1", "vectorized batches launched"),
+    EXECUTOR_LEVEL_COUNT: ("1", "level steps executed by the plan executor"),
+    EXECUTOR_SIM_COMPUTE_CYCLES: ("cycles", "simulated compute (ALU) cycles"),
+    EXECUTOR_SIM_MEMORY_CYCLES: ("cycles", "simulated memory-stall cycles"),
+    EXECUTOR_SIM_WAIT_CYCLES: ("cycles", "simulated idle-at-barrier cycles"),
+    EXECUTOR_SIM_BARRIER_CYCLES: ("cycles", "simulated barrier-cost cycles"),
+    EXECUTOR_SIM_MAKESPAN_CYCLES: ("cycles", "simulated makespan (critical path)"),
+    CACHE_ACCESSES: ("1", "element accesses in the LRU simulator"),
+    CACHE_L1_HITS: ("1", "simulated L1 hits"),
+    CACHE_LLC_HITS: ("1", "simulated LLC hits"),
+    CACHE_MISSES: ("1", "simulated DRAM accesses"),
+    GS_CHUNKS: ("1", "fused Gauss-Seidel chunks scheduled"),
+}
+
+
+def all_names() -> tuple[str, ...]:
+    """Every registered metric name, sorted."""
+    return tuple(sorted(REGISTRY))
+
+
+def describe(name: str) -> str:
+    """Human description of *name* (empty string when unregistered)."""
+    return REGISTRY.get(name, ("", ""))[1]

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..kernels.base import Kernel, State
 from ..obs import current as current_recorder
+from ..obs import names
 from ..schedule.schedule import FusedSchedule
 
 __all__ = ["execute_schedule_batched"]
@@ -96,7 +97,7 @@ def execute_schedule_batched(
                         kern.run_iteration(i, state, scratches[k])
                     n_scalar += iters.shape[0]
     if rec.enabled:
-        rec.count("executor.batched_iterations", n_batched)
-        rec.count("executor.scalar_iterations", n_scalar)
-        rec.count("executor.batches", n_batches)
+        rec.count(names.EXECUTOR_BATCHED_ITERATIONS, n_batched)
+        rec.count(names.EXECUTOR_SCALAR_ITERATIONS, n_scalar)
+        rec.count(names.EXECUTOR_BATCHES, n_batches)
     return state

@@ -97,7 +97,17 @@ class AddressSpace:
 class ThreadCache:
     """One thread's private L1 + LLC slice, with access accounting."""
 
-    __slots__ = ("config", "l1", "llc", "n_access", "n_l1_hit", "n_llc_hit", "cycles")
+    __slots__ = (
+        "config",
+        "l1",
+        "llc",
+        "n_access",
+        "n_l1_hit",
+        "n_llc_hit",
+        "cycles",
+        "hit_cycles",
+        "miss_cycles",
+    )
 
     def __init__(self, config: CacheConfig):
         self.config = config
@@ -107,6 +117,10 @@ class ThreadCache:
         self.n_l1_hit = 0
         self.n_llc_hit = 0
         self.cycles = 0.0
+        #: cycles served by a cache level (L1 or LLC latency)
+        self.hit_cycles = 0.0
+        #: cycles served by DRAM (the stall the paper's Fig. 6 prices)
+        self.miss_cycles = 0.0
 
     def access_elements(self, base: int, indices: np.ndarray) -> float:
         """Access ``base + indices`` element-wise; returns cycles spent.
@@ -118,6 +132,7 @@ class ThreadCache:
         cfg = self.config
         lines = (base + indices) // cfg.line_elems
         cost = 0.0
+        hit_cost = 0.0
         last = -1
         l1 = self.l1
         llc = self.llc
@@ -126,17 +141,22 @@ class ThreadCache:
             if line == last:
                 self.n_l1_hit += 1
                 cost += cfg.lat_l1
+                hit_cost += cfg.lat_l1
                 continue
             last = line
             if l1.access(line):
                 self.n_l1_hit += 1
                 cost += cfg.lat_l1
+                hit_cost += cfg.lat_l1
             elif llc.access(line):
                 self.n_llc_hit += 1
                 cost += cfg.lat_llc
+                hit_cost += cfg.lat_llc
             else:
                 cost += cfg.lat_mem
         self.cycles += cost
+        self.hit_cycles += hit_cost
+        self.miss_cycles += cost - hit_cost
         return cost
 
     @property
@@ -152,6 +172,8 @@ class ThreadCache:
             "llc_hits": float(self.n_llc_hit),
             "misses": float(self.n_access - self.n_l1_hit - self.n_llc_hit),
             "cycles": self.cycles,
+            "hit_cycles": self.hit_cycles,
+            "miss_cycles": self.miss_cycles,
             "avg_latency": self.avg_latency,
         }
 
@@ -159,7 +181,18 @@ class ThreadCache:
         """Add this cache's hit/miss totals to *recorder*'s counters.
 
         Called once per simulated thread at the end of a cache-fidelity
-        simulation; per-access recording would swamp the recorder.
+        simulation; per-access recording would swamp the recorder. Names
+        come from the :mod:`repro.obs.names` registry.
         """
-        for key in ("accesses", "l1_hits", "llc_hits", "misses"):
-            recorder.count(f"{prefix}.{key}", self.stats()[key])
+        from ..obs import names
+
+        stats = self.stats()
+        registered = {
+            "accesses": names.CACHE_ACCESSES,
+            "l1_hits": names.CACHE_L1_HITS,
+            "llc_hits": names.CACHE_LLC_HITS,
+            "misses": names.CACHE_MISSES,
+        }
+        for key, name in registered.items():
+            counter = name if prefix == "cache" else f"{prefix}.{key}"
+            recorder.count(counter, stats[key])

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..kernels.base import Kernel, State, make_state
 from ..obs import current as current_recorder
+from ..obs import names
 from ..schedule.schedule import FusedSchedule
 
 __all__ = ["execute_schedule", "run_reference", "allocate_state"]
@@ -96,5 +97,5 @@ def execute_schedule(
                             kernels[k].run_iteration(
                                 v - int(offsets[k]), state, scratches[k]
                             )
-        rec.count("executor.iterations", schedule.n_vertices)
+        rec.count(names.EXECUTOR_ITERATIONS, schedule.n_vertices)
     return state

@@ -16,6 +16,19 @@ exactly the three effects the paper's evaluation turns on:
 The compute charge is ``cycles_per_nnz * c(v) + cycles_per_iter`` with an
 optional per-run ``efficiency`` multiplier (< 1 models hand-vectorized
 library code like MKL; the schedule layout is unaffected).
+
+Beyond the makespan, every run is fully **attributed**: the report
+carries per-s-partition × per-thread cycle tables splitting the run
+into compute, memory stall (hit/miss in cache fidelity), idle wait at
+the s-partition barrier, and barrier cost itself. The tables satisfy
+the conservation identity
+
+    compute + memory + wait + barrier == makespan * n_threads
+
+which :meth:`MachineReport.assert_conserved` checks and the test suite
+asserts on every simulated run. They feed the Perfetto counter tracks
+(:mod:`repro.runtime.trace`) and the schedule doctor
+(:mod:`repro.analytics.doctor`).
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ import numpy as np
 
 from ..kernels.base import Kernel
 from ..obs import current as current_recorder
+from ..obs import names
 from ..schedule.schedule import FusedSchedule
 from .cache import AddressSpace, CacheConfig, ThreadCache
 
@@ -64,13 +78,43 @@ class MachineConfig:
 
 @dataclass
 class MachineReport:
-    """Result of one simulated execution."""
+    """Result of one simulated execution.
+
+    ``busy_cycles`` remains the (n_spartitions, n_threads) thread busy
+    table; it always equals ``compute_cycles + memory_cycles``. The
+    attribution tables share that shape. In flat fidelity memory cost is
+    folded into the compute charge, so ``memory_cycles`` is zero; in
+    cache fidelity it further splits into ``memory_hit_cycles`` (L1/LLC
+    latency) and ``memory_miss_cycles`` (DRAM latency).
+    """
 
     total_cycles: float
     spartition_cycles: list[float]
     busy_cycles: np.ndarray  # (n_spartitions, n_threads) thread busy time
     n_barriers: int
     cache_stats: dict[str, float] = field(default_factory=dict)
+    #: per (s-partition, thread) pure-compute (ALU) cycles
+    compute_cycles: np.ndarray | None = None
+    #: per (s-partition, thread) memory-stall cycles (0 in flat fidelity)
+    memory_cycles: np.ndarray | None = None
+    #: cache fidelity only: memory cycles served by L1/LLC hits
+    memory_hit_cycles: np.ndarray | None = None
+    #: cache fidelity only: memory cycles served by DRAM
+    memory_miss_cycles: np.ndarray | None = None
+    #: the machine's per-s-partition barrier cost (cycles)
+    barrier_cost_cycles: float = 0.0
+
+    def __post_init__(self):
+        # Reports built without explicit tables (tests, ad-hoc payloads)
+        # still get a consistent attribution: all busy time is compute.
+        if self.compute_cycles is None:
+            self.compute_cycles = np.asarray(self.busy_cycles, dtype=float).copy()
+        if self.memory_cycles is None:
+            self.memory_cycles = np.zeros_like(self.compute_cycles)
+        if self.memory_hit_cycles is None:
+            self.memory_hit_cycles = np.zeros_like(self.compute_cycles)
+        if self.memory_miss_cycles is None:
+            self.memory_miss_cycles = np.zeros_like(self.compute_cycles)
 
     @property
     def seconds(self) -> float:
@@ -80,10 +124,72 @@ class MachineReport:
     _seconds: float = 0.0
 
     @property
+    def n_threads(self) -> int:
+        """Thread count of the simulated machine."""
+        return int(self.busy_cycles.shape[1]) if self.busy_cycles.ndim == 2 else 1
+
+    # -- attribution tables (single source of truth) -------------------
+    @property
+    def wait_table(self) -> np.ndarray:
+        """(n_sp, n_threads) idle-at-barrier cycles: slowest thread of
+        each s-partition minus each thread's own busy time."""
+        busy = self.busy_cycles
+        if busy.size == 0:
+            return np.zeros_like(busy, dtype=float)
+        return busy.max(axis=1, initial=0.0)[:, None] - busy
+
+    @property
+    def barrier_table(self) -> np.ndarray:
+        """(n_sp, n_threads) barrier-cost cycles (every thread pays the
+        full barrier once per s-partition)."""
+        return np.full_like(
+            np.asarray(self.busy_cycles, dtype=float), self.barrier_cost_cycles
+        )
+
+    @property
     def wait_cycles(self) -> float:
         """Total thread wait (idle-at-barrier) cycles across s-partitions."""
-        per_sp = self.busy_cycles.max(axis=1, initial=0.0)[:, None] - self.busy_cycles
-        return float(per_sp.sum())
+        return float(self.wait_table.sum())
+
+    def attribution(self) -> dict[str, float]:
+        """Where the thread-cycles went: totals and shares per category.
+
+        ``compute + memory + wait + barrier == makespan * n_threads``
+        (the conservation identity); ``*_share`` entries divide by that
+        total and sum to 1 on any non-empty run.
+        """
+        totals = {
+            "compute_cycles": float(self.compute_cycles.sum()),
+            "memory_cycles": float(self.memory_cycles.sum()),
+            "wait_cycles": float(self.wait_table.sum()),
+            "barrier_cycles": float(self.barrier_table.sum()),
+        }
+        denom = self.total_cycles * max(1, self.n_threads)
+        for key in list(totals):
+            totals[key.replace("_cycles", "_share")] = (
+                totals[key] / denom if denom > 0 else 0.0
+            )
+        totals["makespan_cycles"] = float(self.total_cycles)
+        totals["thread_cycles"] = denom if self.total_cycles > 0 else 0.0
+        return totals
+
+    def assert_conserved(self, rtol: float = 1e-9, atol: float = 1e-3) -> None:
+        """Raise AssertionError unless the cycle-conservation identity
+        ``compute + memory + wait + barrier == makespan * n_threads``
+        holds (it must, for every fidelity/efficiency/override)."""
+        lhs = (
+            float(self.compute_cycles.sum())
+            + float(self.memory_cycles.sum())
+            + float(self.wait_table.sum())
+            + float(self.barrier_table.sum())
+        )
+        rhs = self.total_cycles * self.n_threads
+        if not np.isclose(lhs, rhs, rtol=rtol, atol=atol):
+            raise AssertionError(
+                f"cycle conservation violated: compute+memory+wait+barrier="
+                f"{lhs!r} != makespan*n_threads={rhs!r} "
+                f"(attribution {self.attribution()})"
+            )
 
     def potential_gain(self, n_threads: int, barrier_cycles: float = 0.0) -> float:
         """VTune-style OpenMP potential gain: total parallel overhead
@@ -136,7 +242,10 @@ class SimulatedMachine:
         offsets = schedule.offsets
         costs = np.concatenate([k.iteration_costs() for k in kernels])
         n_sp = schedule.n_spartitions
-        busy = np.zeros((n_sp, cfg.n_threads))
+        comp = np.zeros((n_sp, cfg.n_threads))
+        mem = np.zeros((n_sp, cfg.n_threads))
+        mem_hit = np.zeros((n_sp, cfg.n_threads))
+        mem_miss = np.zeros((n_sp, cfg.n_threads))
         sp_cycles: list[float] = []
         cache_stats: dict[str, float] = {}
 
@@ -161,9 +270,9 @@ class SimulatedMachine:
                     cfg.cycles_per_nnz * float(costs[verts].sum())
                     + cfg.cycles_per_iter * verts.shape[0]
                 ) * efficiency
-                mem = 0.0
                 if fidelity == "cache":
                     tc = caches[thread]
+                    hit0, miss0 = tc.hit_cycles, tc.miss_cycles
                     for v in verts.tolist():
                         k = int(loop_of[v])
                         i = v - int(offsets[k])
@@ -171,18 +280,21 @@ class SimulatedMachine:
                         for var in kern.read_vars:
                             idx = kern.reads_of(var, i)
                             if idx.shape[0]:
-                                mem += tc.access_elements(space.bases[var], idx)
+                                tc.access_elements(space.bases[var], idx)
                         for var in kern.write_vars:
                             idx = kern.writes_of(var, i)
                             if idx.shape[0]:
-                                mem += tc.access_elements(space.bases[var], idx)
+                                tc.access_elements(space.bases[var], idx)
+                    mem_hit[s, thread] += tc.hit_cycles - hit0
+                    mem_miss[s, thread] += tc.miss_cycles - miss0
+                    mem[s, thread] += (tc.hit_cycles - hit0) + (tc.miss_cycles - miss0)
                     # In cache fidelity the flat per-nnz charge would
                     # double-count memory; keep only the iteration/ALU part.
                     compute = (
                         cfg.cycles_per_iter * verts.shape[0]
                         + 1.0 * float(costs[verts].sum())
                     ) * efficiency
-                busy[s, thread] += compute + mem
+                comp[s, thread] += compute
             if sequential_override:
                 # serialize the override loops' work of this s-partition
                 # onto thread 0 (in addition to their parallel cost removal)
@@ -195,10 +307,11 @@ class SimulatedMachine:
                             cfg.cycles_per_nnz * float(costs[sel].sum())
                             + cfg.cycles_per_iter * sel.shape[0]
                         ) * efficiency
-                        busy[s, thread] -= c
+                        comp[s, thread] -= c
                         extra += c
-                busy[s, 0] += extra
-            sp_cycles.append(float(busy[s].max(initial=0.0)) + cfg.barrier_cycles)
+                comp[s, 0] += extra
+            busy_s = comp[s] + mem[s]
+            sp_cycles.append(float(busy_s.max(initial=0.0)) + cfg.barrier_cycles)
 
         if fidelity == "cache":
             rec = current_recorder()
@@ -215,9 +328,22 @@ class SimulatedMachine:
         report = MachineReport(
             total_cycles=total,
             spartition_cycles=sp_cycles,
-            busy_cycles=busy,
+            busy_cycles=comp + mem,
             n_barriers=schedule.n_spartitions,
             cache_stats=cache_stats,
+            compute_cycles=comp,
+            memory_cycles=mem,
+            memory_hit_cycles=mem_hit,
+            memory_miss_cycles=mem_miss,
+            barrier_cost_cycles=cfg.barrier_cycles,
         )
         report._seconds = total / (cfg.clock_ghz * 1e9)
+        rec = current_recorder()
+        if rec.enabled:
+            attr = report.attribution()
+            rec.count(names.EXECUTOR_SIM_COMPUTE_CYCLES, attr["compute_cycles"])
+            rec.count(names.EXECUTOR_SIM_MEMORY_CYCLES, attr["memory_cycles"])
+            rec.count(names.EXECUTOR_SIM_WAIT_CYCLES, attr["wait_cycles"])
+            rec.count(names.EXECUTOR_SIM_BARRIER_CYCLES, attr["barrier_cycles"])
+            rec.count(names.EXECUTOR_SIM_MAKESPAN_CYCLES, total)
         return report

@@ -46,6 +46,7 @@ import numpy as np
 
 from ..kernels.base import Kernel, State
 from ..obs import current as current_recorder
+from ..obs import names
 from ..schedule.schedule import FusedSchedule
 
 __all__ = [
@@ -192,8 +193,8 @@ def compile_plan(
                     n_scalar_iters += iters.shape[0]
     compile_seconds = time.perf_counter() - t0
     if rec.enabled:
-        rec.count("plan.compile_seconds", compile_seconds)
-        rec.count("plan.level_steps", n_level)
+        rec.count(names.PLAN_COMPILE_SECONDS, compile_seconds)
+        rec.count(names.PLAN_LEVEL_STEPS, n_level)
     return ExecutionPlan(
         loop_counts=tuple(schedule.loop_counts),
         min_batch=min_batch,
@@ -227,10 +228,10 @@ def plan_for(
     plan = cache.get(key)
     if plan is not None:
         if rec.enabled:
-            rec.count("plan.cache_hits")
+            rec.count(names.PLAN_CACHE_HITS)
         return plan
     if rec.enabled:
-        rec.count("plan.cache_misses")
+        rec.count(names.PLAN_CACHE_MISSES)
     plan = compile_plan(schedule, kernels, min_batch=min_batch)
     cache[key] = plan
     return plan
@@ -277,7 +278,7 @@ def execute_schedule_planned(
                 for i in step.iters.tolist():
                     kern.run_iteration(i, state, scratch)
     if rec.enabled:
-        rec.count("executor.batched_iterations", plan.n_batched_iterations)
-        rec.count("executor.scalar_iterations", plan.n_scalar_iterations)
-        rec.count("executor.level_count", plan.n_level_steps)
+        rec.count(names.EXECUTOR_BATCHED_ITERATIONS, plan.n_batched_iterations)
+        rec.count(names.EXECUTOR_SCALAR_ITERATIONS, plan.n_scalar_iterations)
+        rec.count(names.EXECUTOR_LEVEL_COUNT, plan.n_level_steps)
     return state

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..kernels.base import Kernel, State
 from ..obs import current as current_recorder
+from ..obs import names
 from ..schedule.schedule import FusedSchedule
 
 __all__ = ["ThreadedExecutor"]
@@ -91,5 +92,5 @@ class ThreadedExecutor:
                         ]
                         for f in futures:
                             f.result()  # barrier; re-raises worker exceptions
-            rec.count("executor.iterations", schedule.n_vertices)
+            rec.count(names.EXECUTOR_ITERATIONS, schedule.n_vertices)
         return state

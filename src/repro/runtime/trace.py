@@ -2,15 +2,18 @@
 
 Writes a ``chrome://tracing`` / Perfetto-compatible JSON timeline of a
 schedule on the simulated machine: one row per thread, one slice per
-w-partition (labelled by s-partition, kernel mix, and cost), plus
-barrier markers. Drop the file into https://ui.perfetto.dev to *see*
+w-partition (labelled by s-partition, kernel mix, and cost), barrier
+markers, and **attribution counter tracks** — per-s-partition
+compute / memory / wait / barrier cycle totals (plus an idle-fraction
+track) sampled from the :class:`~repro.runtime.machine.MachineReport`
+accounting tables. Drop the file into https://ui.perfetto.dev to *see*
 the load imbalance and synchronization structure the paper's plots
 aggregate into single numbers.
 
 :func:`simulated_trace_events` is the reusable core: it returns the raw
 ``traceEvents`` list so :mod:`repro.obs.exporters` can merge the
-simulated executor timeline with live inspector spans into one unified
-trace.
+simulated executor timeline (slices and counter tracks alike) with live
+inspector spans into one unified trace.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ import numpy as np
 
 from ..kernels.base import Kernel
 from ..schedule.schedule import FusedSchedule
-from .machine import MachineConfig, SimulatedMachine
+from .machine import MachineConfig, MachineReport, SimulatedMachine
 
 __all__ = ["export_chrome_trace", "simulated_trace_events"]
 
@@ -35,15 +38,18 @@ def simulated_trace_events(
     fidelity: str = "flat",
     t0_us: float = 0.0,
     pid: int = 0,
+    report: MachineReport | None = None,
 ) -> tuple[list[dict], float]:
     """Simulate *schedule* and build its Chrome ``traceEvents`` list.
 
     Returns ``(events, total_us)``; timestamps are simulated
     microseconds starting at *t0_us*, emitted under process id *pid*.
+    Pass a precomputed *report* (from the same schedule/config/fidelity)
+    to skip the simulation; otherwise one is run here.
     """
     cfg = config or MachineConfig()
-    machine = SimulatedMachine(cfg)
-    report = machine.simulate(schedule, kernels, fidelity=fidelity)
+    if report is None:
+        report = SimulatedMachine(cfg).simulate(schedule, kernels, fidelity=fidelity)
     offsets = schedule.offsets
     loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
     for k in range(len(kernels)):
@@ -52,8 +58,21 @@ def simulated_trace_events(
     def us(cycles: float) -> float:
         return cycles / (cfg.clock_ghz * 1e3)
 
+    def counter(name: str, ts_us: float, values: dict) -> dict:
+        return {
+            "name": name,
+            "cat": "counter",
+            "ph": "C",
+            "ts": ts_us,
+            "pid": pid,
+            "tid": 0,
+            "args": values,
+        }
+
     events = []
     t_start = 0.0
+    wait = report.wait_table
+    n_threads = cfg.n_threads
     for s, wlist in enumerate(schedule.s_partitions):
         sp_busy = report.busy_cycles[s]
         for w, verts in enumerate(wlist):
@@ -93,7 +112,48 @@ def simulated_trace_events(
                 "args": {"s_partition": s},
             }
         )
+        # Attribution counter tracks: one sample per s-partition at its
+        # start, valid until the next sample — Perfetto stacks the args
+        # keys into one multi-series counter track per name.
+        sp_thread_cycles = n_threads * (float(sp_busy.max(initial=0.0)) + cfg.barrier_cycles)
+        events.append(
+            counter(
+                "executor.attribution (cycles)",
+                t0_us + us(t_start),
+                {
+                    "compute": float(report.compute_cycles[s].sum()),
+                    "memory": float(report.memory_cycles[s].sum()),
+                    "wait": float(wait[s].sum()),
+                    "barrier": cfg.barrier_cycles * n_threads,
+                },
+            )
+        )
+        events.append(
+            counter(
+                "executor.idle_fraction",
+                t0_us + us(t_start),
+                {
+                    "idle": (
+                        float(wait[s].sum()) / sp_thread_cycles
+                        if sp_thread_cycles > 0
+                        else 0.0
+                    )
+                },
+            )
+        )
         t_start = sp_end + cfg.barrier_cycles
+    if schedule.n_spartitions:
+        # terminate the counter tracks at the end of the run
+        events.append(
+            counter(
+                "executor.attribution (cycles)",
+                t0_us + us(t_start),
+                {"compute": 0.0, "memory": 0.0, "wait": 0.0, "barrier": 0.0},
+            )
+        )
+        events.append(
+            counter("executor.idle_fraction", t0_us + us(t_start), {"idle": 0.0})
+        )
     return events, us(report.total_cycles)
 
 
@@ -108,10 +168,13 @@ def export_chrome_trace(
     """Simulate *schedule* and write its thread timeline to *path*.
 
     Returns the written path. Timestamps are simulated microseconds.
+    ``otherData.executor_attribution`` carries the compute / memory /
+    wait / barrier totals of the run.
     """
     cfg = config or MachineConfig()
+    report = SimulatedMachine(cfg).simulate(schedule, kernels, fidelity=fidelity)
     events, total_us = simulated_trace_events(
-        schedule, kernels, cfg, fidelity=fidelity
+        schedule, kernels, cfg, fidelity=fidelity, report=report
     )
     payload = {
         "traceEvents": events,
@@ -120,6 +183,7 @@ def export_chrome_trace(
             "schedule": schedule.meta.get("scheduler", "unknown"),
             "total_simulated_us": total_us,
             "threads": cfg.n_threads,
+            "executor_attribution": report.attribution(),
         },
     }
     path = Path(path)

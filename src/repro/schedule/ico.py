@@ -49,6 +49,7 @@ import numpy as np
 from ..graph.dag import DAG
 from ..graph.interdep import InterDep
 from ..obs import current as current_recorder
+from ..obs import names
 from ..sparse.base import INDEX_DTYPE
 from ..utils.arrays import multi_range
 from .lbc import lbc_schedule
@@ -100,7 +101,7 @@ def ico_schedule(
     rec = current_recorder()
     with rec.span("ico", loops=len(dags), r=r) as ico_span:
         builder = _IcoBuilder(dags, inter, r)
-        rec.count("ico.vertices", builder.n_total)
+        rec.count(names.ICO_VERTICES, builder.n_total)
 
         # --- step 1: vertex partitioning + partition pairing -----------
         head = 1 if dags[1].has_edges else 0  # Algorithm 1, line 1
@@ -127,7 +128,7 @@ def ico_schedule(
             with rec.span("ico.merge") as sp:
                 builder.merge_adjacent()
                 sp.set(merged=before - builder.n_sparts)
-            rec.count("ico.merged_spartitions", before - builder.n_sparts)
+            rec.count(names.ICO_MERGED_SPARTITIONS, before - builder.n_sparts)
         if balance:
             with rec.span("ico.slack_balance"):
                 builder.slack_balance(balance_eps_factor)
@@ -137,7 +138,7 @@ def ico_schedule(
         with rec.span("ico.pack", packing=packing):
             sched = builder.build_schedule(packing)
         ico_span.set(spartitions=sched.n_spartitions, packing=packing)
-        rec.count("ico.spartitions", sched.n_spartitions)
+        rec.count(names.ICO_SPARTITIONS, sched.n_spartitions)
     sched.meta["scheduler"] = "ico"
     sched.meta["head"] = head
     sched.meta["reuse_ratio"] = float(reuse_ratio)
@@ -404,7 +405,7 @@ class _IcoBuilder:
 
     def finalize_partitions(self) -> None:
         """Materialize the preamble (if any) and the global adjacency."""
-        current_recorder().count("ico.preamble_vertices", len(self.preamble))
+        current_recorder().count(names.ICO_PREAMBLE_VERTICES, len(self.preamble))
         self._build_global_adjacency()
         if self.preamble:
             # Group preamble vertices into independent w-partitions via
@@ -571,7 +572,7 @@ class _IcoBuilder:
         cand[src[contested]] = False
         cand[dst[contested]] = False
         pool = np.nonzero(cand)[0]
-        current_recorder().count("ico.slack_pooled", pool.shape[0])
+        current_recorder().count(names.ICO_SLACK_POOLED, pool.shape[0])
         if pool.shape[0] == 0:
             return
         for s in np.unique(self.sp[pool]).tolist():

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..graph.dag import DAG
 from ..obs import current as current_recorder
+from ..obs import names
 from ..sparse.base import INDEX_DTYPE
 from ..utils.arrays import multi_range
 from .partition_utils import (
@@ -75,8 +76,8 @@ def lbc_schedule(
             dag, r, initial_cut, coarsening_factor, balance_tolerance
         )
         sp.set(levels=n_levels, spartitions=len(s_partitions))
-    rec.count("lbc.levels", n_levels)
-    rec.count("lbc.spartitions", len(s_partitions))
+    rec.count(names.LBC_LEVELS, n_levels)
+    rec.count(names.LBC_SPARTITIONS, len(s_partitions))
     sched = FusedSchedule((dag.n,), s_partitions, packing="none")
     sched.meta["scheduler"] = "lbc"
     sched.meta["initial_cut"] = initial_cut

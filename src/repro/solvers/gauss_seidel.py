@@ -25,6 +25,7 @@ from ..fusion.fused import FusedLoops, fuse
 from ..kernels import SpMVCSR, SpTRSVCSR
 from ..kernels.base import Kernel, State
 from ..obs import current as current_recorder
+from ..obs import names
 from ..runtime.batched import execute_schedule_batched
 from ..runtime.executor import allocate_state, execute_schedule
 from ..runtime.plan import execute_schedule_planned
@@ -189,7 +190,7 @@ def gauss_seidel(
                 converged = True
                 break
             state[x_in][:] = x
-        rec.count("gs.chunks", chunks)
+        rec.count(names.GS_CHUNKS, chunks)
     return GSResult(
         x=state[x_out].copy(),
         iterations=iterations,

@@ -64,3 +64,25 @@ def matrix_zoo(lap2d_small, lap2d_nd, lap3d_nd, band_small, rand_spd_nd):
 def rng():
     """Fresh deterministic RNG per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _enforce_cycle_conservation(monkeypatch):
+    """Check the attribution identity on EVERY simulated run in the suite.
+
+    ``compute + memory + wait + barrier == makespan * n_threads`` must
+    hold for any schedule/fidelity/efficiency/override combination the
+    tests exercise; wrapping :meth:`SimulatedMachine.simulate` here
+    turns each of the suite's hundreds of simulations into a check of
+    :meth:`MachineReport.assert_conserved`.
+    """
+    from repro.runtime.machine import SimulatedMachine
+
+    original = SimulatedMachine.simulate
+
+    def checked(self, schedule, kernels, **kwargs):
+        report = original(self, schedule, kernels, **kwargs)
+        report.assert_conserved()
+        return report
+
+    monkeypatch.setattr(SimulatedMachine, "simulate", checked)

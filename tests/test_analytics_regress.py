@@ -1,0 +1,136 @@
+"""Benchmark regression-guard tests."""
+
+import json
+
+import pytest
+
+from repro.analytics.regress import (
+    diff_dirs,
+    diff_payloads,
+    extract_metrics,
+    format_diff_table,
+    has_regressions,
+    metric_spec,
+    smoke_check,
+)
+
+BASE = {
+    "rows": [
+        {"matrix": "a", "sf_gflops": 2.0, "vec_seconds": 0.5, "plan_cache_hits": 3},
+        {"matrix": "b", "sf_gflops": 8.0, "vec_seconds": 0.3, "plan_cache_hits": 5},
+    ],
+    "summary": {
+        "geomean_vs_unfused": 1.5,
+        "all_cache_hits_positive": True,
+        "inspector_seconds": 0.8,
+        "depth_distribution": {"2": 0.5},  # nested: skipped
+        "broken": None,  # null: skipped
+    },
+}
+
+
+def _scaled(payload, key, factor):
+    fresh = json.loads(json.dumps(payload))
+    fresh["summary"][key] *= factor
+    return fresh
+
+
+class TestExtract:
+    def test_summary_scalars_and_bools(self):
+        m = extract_metrics(BASE)
+        assert m["geomean_vs_unfused"] == 1.5
+        assert m["all_cache_hits_positive"] == 1.0
+        assert "depth_distribution" not in m and "broken" not in m
+
+    def test_row_derived_aggregates(self):
+        m = extract_metrics(BASE)
+        assert m["geomean_sf_gflops"] == pytest.approx(4.0)  # sqrt(2*8)
+        assert m["total_vec_seconds"] == pytest.approx(0.8)
+        assert m["min_plan_cache_hits"] == 3.0
+
+
+class TestSpecs:
+    def test_deterministic_metrics_are_tight(self):
+        assert metric_spec("geomean_vs_unfused").rel_tol <= 0.05
+        assert metric_spec("geomean_sf_gflops").direction == "higher"
+
+    def test_wall_clock_metrics_are_loose(self):
+        spec = metric_spec("inspector_seconds")
+        assert spec.direction == "lower"
+        assert spec.rel_tol >= 0.25
+        assert metric_spec("median_finite_ner_vec").rel_tol >= 0.25
+
+
+class TestDiff:
+    def test_flags_10pct_gflops_regression(self):
+        fresh = _scaled(BASE, "geomean_vs_unfused", 0.9)
+        for r in fresh["rows"]:
+            r["sf_gflops"] *= 0.9
+        rows = diff_payloads("fig5", BASE, fresh)
+        regressed = {r.metric for r in rows if r.verdict == "regressed"}
+        assert "geomean_vs_unfused" in regressed
+        assert "geomean_sf_gflops" in regressed
+        assert has_regressions(rows)
+
+    def test_within_tolerance_passes(self):
+        rows = diff_payloads("x", BASE, _scaled(BASE, "geomean_vs_unfused", 0.98))
+        assert not has_regressions(rows)
+
+    def test_improvement_not_a_failure(self):
+        rows = diff_payloads("x", BASE, _scaled(BASE, "geomean_vs_unfused", 1.5))
+        [row] = [r for r in rows if r.metric == "geomean_vs_unfused"]
+        assert row.verdict == "improved" and not row.failed
+
+    def test_wall_clock_noise_tolerated_but_blowup_flagged(self):
+        noisy = _scaled(BASE, "inspector_seconds", 1.2)  # +20%: host noise
+        assert not has_regressions(diff_payloads("x", BASE, noisy))
+        blowup = _scaled(BASE, "inspector_seconds", 2.0)  # +100%: real
+        rows = diff_payloads("x", BASE, blowup)
+        [row] = [r for r in rows if r.metric == "inspector_seconds"]
+        assert row.verdict == "regressed"
+
+    def test_diff_dirs_missing_and_new(self, tmp_path):
+        base_dir, fresh_dir = tmp_path / "base", tmp_path / "fresh"
+        base_dir.mkdir(), fresh_dir.mkdir()
+        (base_dir / "common.json").write_text(json.dumps(BASE))
+        (fresh_dir / "common.json").write_text(json.dumps(BASE))
+        (base_dir / "old.json").write_text(json.dumps(BASE))
+        (fresh_dir / "brand_new.json").write_text(json.dumps(BASE))
+        rows = diff_dirs(base_dir, fresh_dir)
+        verdicts = {(r.bench, r.verdict) for r in rows}
+        assert ("old", "missing") in verdicts
+        assert ("brand_new", "new") in verdicts
+        assert not has_regressions(rows)  # missing/new are informational
+
+    def test_identical_committed_baselines_pass(self):
+        rows = diff_dirs("benchmarks/results", "benchmarks/results")
+        assert rows and not has_regressions(rows)
+
+    def test_format_table_mentions_failures(self):
+        fresh = _scaled(BASE, "geomean_vs_unfused", 0.5)
+        text = format_diff_table(diff_payloads("fig5", BASE, fresh))
+        assert "FAIL" in text and "regression(s)" in text
+        healthy = format_diff_table(diff_payloads("fig5", BASE, BASE))
+        assert "all within tolerance" in healthy
+
+
+class TestSmoke:
+    def test_floors_judged_from_in_process_runs(self, tmp_path):
+        # stand-in bench modules with the real names and run() contract
+        (tmp_path / "bench_executor_plans.py").write_text(
+            "def run(*, smoke=False, verbose=True):\n"
+            "    return {'rows': [], 'summary': {\n"
+            "        'geomean_speedup_plan_vs_iter': 2.0,\n"
+            "        'all_cache_hits_positive': True}}\n"
+        )
+        (tmp_path / "bench_inspector.py").write_text(
+            "def run(*, smoke=False, verbose=True):\n"
+            "    return {'rows': [], 'summary': {\n"
+            "        'geomean_speedup_vec_vs_seed': 0.5,\n"  # below the floor
+            "        'all_warm_cache_hit': True}}\n"
+        )
+        rows = smoke_check(tmp_path)
+        by_metric = {r.metric: r for r in rows}
+        assert by_metric["geomean_speedup_plan_vs_iter"].verdict == "ok"
+        assert by_metric["geomean_speedup_vec_vs_seed"].verdict == "regressed"
+        assert has_regressions(rows)

@@ -123,6 +123,97 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["fuse", "--combo", "9"])
 
+    def test_trace_unwritable_path_is_clear_error(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "such" / "dir" / "t.json"
+        rc = main(
+            ["trace", "--matrix", "lap2d:8", "--combo", "1", "--out", str(bad)]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot write unified trace")
+        assert "Traceback" not in err
+
+    def test_fuse_trace_to_directory_is_clear_error(self, tmp_path, capsys):
+        rc = main(
+            ["fuse", "--matrix", "lap2d:8", "--combo", "1",
+             "--trace", str(tmp_path)]  # a directory, not a file
+        )
+        assert rc == 2
+        assert "error: cannot write" in capsys.readouterr().err
+
+
+class TestDoctorCommand:
+    def test_doctor_combo1(self, capsys):
+        rc = main(["doctor", "--matrix", "lap2d:8", "--combo", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "schedule doctor" in out and "attribution" in out
+
+    def test_doctor_json_and_trace(self, tmp_path, capsys):
+        import json
+
+        jp, tp = tmp_path / "doc.json", tmp_path / "trace.json"
+        rc = main(
+            ["doctor", "--matrix", "lap2d:8", "--combo", "1",
+             "--json", str(jp), "--trace", str(tp), "--top", "2"]
+        )
+        assert rc == 0
+        doc = json.loads(jp.read_text())
+        assert "findings" in doc and "attribution" in doc
+        assert {e["pid"] for e in json.loads(tp.read_text())["traceEvents"]} == {1, 2}
+
+    def test_compare_doctor_flag(self, capsys):
+        rc = main(
+            ["compare", "--matrix", "lap2d:8", "--combo", "1",
+             "--threads", "4", "--doctor"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sparse-fusion" in out and "schedule doctor" in out
+
+    def test_gs_doctor_flag(self, capsys):
+        rc = main(
+            ["gs", "--matrix", "lap2d:8", "--tol", "1e-6", "--doctor"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged" in out and "schedule doctor" in out
+
+
+class TestBenchDiffCommand:
+    def test_committed_baselines_pass(self, capsys):
+        rc = main(
+            ["bench-diff", "--fresh", "benchmarks/results",
+             "--bench", "fig9_gauss_seidel"]
+        )
+        assert rc == 0
+        assert "all within tolerance" in capsys.readouterr().out
+
+    def test_injected_regression_fails(self, tmp_path, capsys):
+        import json
+
+        base = json.loads(
+            open("benchmarks/results/fig9_gauss_seidel.json").read()
+        )
+        base["summary"]["geomean_vs_parsy"] *= 0.9  # the injected 10% drop
+        (tmp_path / "fig9_gauss_seidel.json").write_text(json.dumps(base))
+        rc = main(
+            ["bench-diff", "--fresh", str(tmp_path),
+             "--bench", "fig9_gauss_seidel"]
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_fresh_dir_is_clear_error(self, capsys):
+        rc = main(["bench-diff", "--fresh", "/no/such/dir"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_fresh_required_without_smoke(self, capsys):
+        rc = main(["bench-diff"])
+        assert rc == 2
+        assert "--fresh" in capsys.readouterr().err
+
 
 class TestProfiling:
     def test_profile_fields(self, lap2d_nd):

@@ -142,3 +142,113 @@ class TestMetrics:
         cfg = MachineConfig(n_threads=1, clock_ghz=2.5)
         rep = SimulatedMachine(cfg).simulate(sequential_schedule(k), [k])
         assert rep.seconds == pytest.approx(rep.total_cycles / 2.5e9)
+
+
+class TestAttribution:
+    """Per-thread time-accounting tables and the conservation identity."""
+
+    @pytest.mark.parametrize("fidelity", ["flat", "cache"])
+    @pytest.mark.parametrize("efficiency", [1.0, 0.4])
+    def test_conservation_identity(self, lap2d_nd, fidelity, efficiency):
+        from repro import fuse
+
+        kernels, _ = build_combination(1, lap2d_nd)
+        fl = fuse(kernels, 4)
+        cfg = MachineConfig(n_threads=4)
+        rep = SimulatedMachine(cfg).simulate(
+            fl.schedule, kernels, fidelity=fidelity, efficiency=efficiency
+        )
+        total = (
+            rep.compute_cycles.sum()
+            + rep.memory_cycles.sum()
+            + rep.wait_table.sum()
+            + rep.barrier_table.sum()
+        )
+        assert total == pytest.approx(rep.total_cycles * cfg.n_threads)
+        rep.assert_conserved()  # and the built-in check agrees
+
+    def test_conservation_under_sequential_override(self, lap2d_nd):
+        kernels, _ = build_combination(5, lap2d_nd)
+        from repro.baselines import mkl_like_schedule
+
+        sched = mkl_like_schedule(kernels, 4)
+        rep = SimulatedMachine(MachineConfig(n_threads=4)).simulate(
+            sched, kernels, sequential_override={0}
+        )
+        rep.assert_conserved()
+
+    def test_tables_shape_and_busy_split(self, lap2d_nd):
+        kernels, _ = build_combination(1, lap2d_nd)
+        from repro import fuse
+
+        fl = fuse(kernels, 4)
+        cfg = MachineConfig(n_threads=4)
+        rep = SimulatedMachine(cfg).simulate(fl.schedule, kernels, fidelity="cache")
+        shape = (fl.schedule.n_spartitions, 4)
+        for table in (
+            rep.compute_cycles,
+            rep.memory_cycles,
+            rep.memory_hit_cycles,
+            rep.memory_miss_cycles,
+            rep.wait_table,
+            rep.barrier_table,
+        ):
+            assert table.shape == shape
+        np.testing.assert_allclose(
+            rep.busy_cycles, rep.compute_cycles + rep.memory_cycles
+        )
+        np.testing.assert_allclose(
+            rep.memory_cycles, rep.memory_hit_cycles + rep.memory_miss_cycles
+        )
+
+    def test_wait_cycles_derived_from_table(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        n = lap2d_nd.n_rows
+        skewed = spmv_sched(lap2d_nd, [[[*range(n - 4)], [*range(n - 4, n)]]])
+        rep = SimulatedMachine(MachineConfig(n_threads=2)).simulate(skewed, [k])
+        assert rep.wait_cycles == pytest.approx(rep.wait_table.sum())
+        # the light thread waits for the heavy one; heaviest waits nothing
+        assert rep.wait_table[0].min() == 0.0
+        assert rep.wait_table[0].max() > 0.0
+
+    def test_attribution_dict_shares(self, lap2d_nd):
+        kernels, _ = build_combination(1, lap2d_nd)
+        from repro import fuse
+
+        fl = fuse(kernels, 4)
+        rep = SimulatedMachine(MachineConfig(n_threads=4)).simulate(
+            fl.schedule, kernels
+        )
+        attr = rep.attribution()
+        shares = (
+            attr["compute_share"]
+            + attr["memory_share"]
+            + attr["wait_share"]
+            + attr["barrier_share"]
+        )
+        assert shares == pytest.approx(1.0)
+        assert attr["thread_cycles"] == pytest.approx(4 * rep.total_cycles)
+
+    def test_bare_report_defaults_to_all_compute(self):
+        from repro.runtime import MachineReport
+
+        busy = np.array([[3.0, 1.0], [2.0, 2.0]])
+        rep = MachineReport(
+            total_cycles=5.0,
+            spartition_cycles=[3.0, 2.0],
+            busy_cycles=busy,
+            n_barriers=2,
+        )
+        np.testing.assert_allclose(rep.compute_cycles, busy)
+        assert rep.memory_cycles.sum() == 0.0
+        rep.assert_conserved()  # barrier_cost defaults to 0
+
+    def test_empty_schedule_report(self, lap2d_nd):
+        k = SpMVCSR(lap2d_nd)
+        empty = spmv_sched(lap2d_nd, [])
+        rep = SimulatedMachine(MachineConfig(n_threads=4)).simulate(empty, [k])
+        assert rep.total_cycles == 0.0
+        assert rep.wait_cycles == 0.0
+        rep.assert_conserved()
+        attr = rep.attribution()
+        assert attr["thread_cycles"] == 0.0 and attr["compute_share"] == 0.0

@@ -7,8 +7,9 @@ import pytest
 
 from repro import fuse
 from repro.fusion import build_combination
-from repro.runtime import MachineConfig
-from repro.runtime.trace import export_chrome_trace
+from repro.runtime import MachineConfig, SimulatedMachine
+from repro.runtime.trace import export_chrome_trace, simulated_trace_events
+from repro.schedule import FusedSchedule
 
 
 @pytest.fixture
@@ -58,3 +59,86 @@ def test_trace_iteration_totals(tmp_path, fused):
         e["args"]["iterations"] for e in events if e["cat"] == "wpartition"
     )
     assert total == fl.schedule.n_vertices
+
+
+def test_barrier_markers_placed_after_each_spartition(fused):
+    fl, kernels = fused
+    cfg = MachineConfig(n_threads=4)
+    events, _ = simulated_trace_events(fl.schedule, kernels, cfg)
+    barriers = sorted(
+        (e for e in events if e["cat"] == "barrier"),
+        key=lambda e: e["args"]["s_partition"],
+    )
+    assert [e["args"]["s_partition"] for e in barriers] == list(
+        range(fl.schedule.n_spartitions)
+    )
+    us_per_barrier = cfg.barrier_cycles / (cfg.clock_ghz * 1e3)
+    slices = [e for e in events if e["cat"] == "wpartition"]
+    for b in barriers:
+        assert b["dur"] == pytest.approx(us_per_barrier)
+        # the barrier starts when the slowest w-partition of its
+        # s-partition finishes
+        ends = [
+            e["ts"] + e["dur"]
+            for e in slices
+            if e["args"]["s_partition"] == b["args"]["s_partition"]
+        ]
+        assert b["ts"] == pytest.approx(max(ends), abs=0.01)
+
+
+class TestCounterTracks:
+    def test_attribution_samples_per_spartition(self, fused):
+        fl, kernels = fused
+        cfg = MachineConfig(n_threads=4)
+        events, _ = simulated_trace_events(fl.schedule, kernels, cfg)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert all(e["cat"] == "counter" for e in counters)
+        attribution = [
+            e for e in counters if e["name"] == "executor.attribution (cycles)"
+        ]
+        idle = [e for e in counters if e["name"] == "executor.idle_fraction"]
+        # one sample per s-partition plus the terminating zero sample
+        assert len(attribution) == fl.schedule.n_spartitions + 1
+        assert len(idle) == fl.schedule.n_spartitions + 1
+        assert attribution[-1]["args"] == {
+            "compute": 0.0, "memory": 0.0, "wait": 0.0, "barrier": 0.0,
+        }
+        assert all(0.0 <= e["args"]["idle"] <= 1.0 for e in idle)
+
+    def test_samples_match_accounting_tables(self, fused):
+        fl, kernels = fused
+        cfg = MachineConfig(n_threads=4)
+        report = SimulatedMachine(cfg).simulate(fl.schedule, kernels)
+        events, _ = simulated_trace_events(
+            fl.schedule, kernels, cfg, report=report
+        )
+        samples = sorted(
+            (
+                e
+                for e in events
+                if e["ph"] == "C" and e["name"] == "executor.attribution (cycles)"
+            ),
+            key=lambda e: e["ts"],
+        )[:-1]  # drop the terminating zero sample
+        for s, e in enumerate(samples):
+            a = e["args"]
+            assert a["compute"] == pytest.approx(report.compute_cycles[s].sum())
+            assert a["wait"] == pytest.approx(report.wait_table[s].sum())
+            # per s-partition the conservation identity holds sample-wise
+            total = a["compute"] + a["memory"] + a["wait"] + a["barrier"]
+            assert total == pytest.approx(
+                cfg.n_threads * report.spartition_cycles[s]
+            )
+        # and the samples sum to the whole run
+        grand = sum(
+            sum(e["args"].values()) for e in samples
+        )
+        assert grand == pytest.approx(cfg.n_threads * report.total_cycles)
+
+    def test_empty_schedule_has_no_counter_samples(self, lap2d_nd):
+        from repro.kernels import SpMVCSR
+
+        k = SpMVCSR(lap2d_nd)
+        empty = FusedSchedule((lap2d_nd.n_rows,), [])
+        events, total_us = simulated_trace_events(empty, [k], MachineConfig())
+        assert events == [] and total_us == 0.0
