@@ -13,11 +13,23 @@ tables (:class:`repro.runtime.machine.MachineReport`):
   baselines with per-metric noise thresholds. ``repro bench-diff`` on
   the CLI; ``--smoke`` is the CI guardrail mode.
 
+Plus the **measured-locality profiler**
+(:mod:`repro.analytics.locality`): reuse-distance histograms, working
+sets and a measured reuse ratio replayed from the schedule's real
+access stream, including the counterfactual packing — ``repro
+locality`` on the CLI, ``--locality`` on ``repro doctor``.
+
 See the "Attribution and the schedule doctor" section of
 ``docs/observability.md``.
 """
 
 from .doctor import DoctorReport, DoctorThresholds, Finding, diagnose
+from .locality import (
+    LocalityReport,
+    SPartitionLocality,
+    WPartitionLocality,
+    profile_locality,
+)
 from .regress import DiffRow, diff_dirs, diff_payloads, extract_metrics
 
 __all__ = [
@@ -25,6 +37,10 @@ __all__ = [
     "DoctorThresholds",
     "Finding",
     "diagnose",
+    "LocalityReport",
+    "SPartitionLocality",
+    "WPartitionLocality",
+    "profile_locality",
     "DiffRow",
     "diff_dirs",
     "diff_payloads",

@@ -78,6 +78,13 @@ class DoctorThresholds:
     #: cache hit rate that suggests cross-kernel reuse is being left
     #: on the table by separated packing
     reuse_hit_rate: float = 0.6
+    #: measured reuse below this while the size estimate said >= 1
+    #: (interleaved) flags an over-estimated packing decision
+    measured_reuse_low: float = 0.9
+    #: counterfactual hit-rate advantage that flags a wrong packing
+    packing_gap: float = 0.02
+    #: false-shared lines as a share of distinct lines
+    false_sharing_share: float = 0.02
     #: a finding escalates from warning to critical at this score
     critical_score: float = 0.45
 
@@ -148,6 +155,8 @@ class _Context:
     report: MachineReport
     profile: ScheduleProfile
     thresholds: DoctorThresholds
+    #: measured-locality profile (repro.analytics.locality), when run
+    locality: object | None = None
 
     @property
     def thread_cycles(self) -> float:
@@ -295,9 +304,67 @@ def rule_memory_bound(ctx: _Context) -> list[Finding]:
 
 
 def rule_packing(ctx: _Context) -> list[Finding]:
-    """Packing choice vs measured/estimated reuse."""
+    """Packing choice vs measured/estimated reuse.
+
+    With a measured-locality profile the rule is *measured*: the packing
+    the measured reuse ratio selects, and the replayed counterfactual
+    hit rate, judge the inspector's choice directly. Without one it
+    falls back to the original heuristic (borderline size estimate or a
+    hot simulated cache under separated packing).
+    """
     thr = ctx.thresholds
     sched, rep = ctx.schedule, ctx.report
+    loc = ctx.locality
+    if loc is not None:
+        desired = loc.measured_packing
+        gap = loc.packing_gap
+        wrong_dir = desired != sched.packing
+        losing = gap is not None and gap < -thr.packing_gap
+        if not (wrong_dir or losing):
+            return []
+        why = []
+        if wrong_dir:
+            why.append(
+                f"measured reuse {loc.measured_reuse:.2f} selects "
+                f"{desired} (estimate said {loc.estimated_reuse:.2f})"
+            )
+        if losing:
+            why.append(
+                f"replaying the {loc.counterfactual_packing} counterfactual "
+                f"models a {-gap:.1%} higher hit rate"
+            )
+        score = max(0.05, abs(gap) if gap is not None else 0.05)
+        return [
+            Finding(
+                rule="packing-choice",
+                severity="warning" if losing else "info",
+                score=min(score, 1.0),
+                message=(
+                    f"{sched.packing} packing chosen but "
+                    + " and ".join(why)
+                ),
+                evidence={
+                    "packing": sched.packing,
+                    "measured_packing": desired,
+                    "measured_reuse": loc.measured_reuse,
+                    "estimated_reuse": loc.estimated_reuse,
+                    "hit_rate": loc.hit_rate,
+                    **(
+                        {
+                            "counterfactual_hit_rate": loc.counterfactual_hit_rate,
+                            "packing_gap": gap,
+                        }
+                        if gap is not None
+                        else {}
+                    ),
+                },
+                hint=(
+                    f"re-fuse with reuse_ratio forced to "
+                    f"{'>= 1.0' if desired == 'interleaved' else '< 1.0'} "
+                    f"({desired}) and compare measured hit rates"
+                ),
+            )
+        ]
     if sched.packing != "separated":
         return []
     reuse = sched.meta.get("reuse_ratio")
@@ -407,12 +474,91 @@ def rule_underfilled(ctx: _Context) -> list[Finding]:
     ]
 
 
+def rule_measured_reuse(ctx: _Context) -> list[Finding]:
+    """Interleaving chosen on an over-estimated reuse ratio.
+
+    The size-based estimate counts whole variables; the measured ratio
+    counts elements actually touched by both kernels. When interleaving
+    was chosen on an estimate >= 1 but the measurement comes in well
+    below it (e.g. a TRSV reading only the L half of an LU factor), the
+    interleave is paying its packing cost for reuse that isn't there.
+    """
+    loc, thr = ctx.locality, ctx.thresholds
+    if loc is None or ctx.schedule.packing != "interleaved":
+        return []
+    if loc.estimated_reuse < 1.0 or loc.measured_reuse >= thr.measured_reuse_low:
+        return []
+    overshoot = loc.estimated_reuse - loc.measured_reuse
+    return [
+        Finding(
+            rule="low-measured-reuse",
+            severity="warning",
+            score=min(1.0, overshoot / max(loc.estimated_reuse, 1e-9)),
+            message=(
+                f"interleaved packing was chosen on an estimated reuse of "
+                f"{loc.estimated_reuse:.2f}, but the measured access stream "
+                f"shows only {loc.measured_reuse:.2f} — the estimate counts "
+                f"whole variables, the kernels touch less"
+            ),
+            evidence={
+                "estimated_reuse": loc.estimated_reuse,
+                "measured_reuse": loc.measured_reuse,
+                "hit_rate": loc.hit_rate,
+                "mean_reuse_distance": loc.mean_reuse_distance,
+            },
+            hint=(
+                "re-fuse with reuse_ratio set to the measured value (or "
+                "force separated packing) and compare measured hit rates"
+            ),
+        )
+    ]
+
+
+def rule_false_sharing(ctx: _Context) -> list[Finding]:
+    """Cache lines written by multiple concurrent w-partitions."""
+    loc, thr = ctx.locality, ctx.thresholds
+    if loc is None or loc.distinct_lines == 0:
+        return []
+    share = loc.false_shared_lines / loc.distinct_lines
+    if share <= thr.false_sharing_share:
+        return []
+    worst = max(loc.s_partitions, key=lambda s: s.false_shared_lines)
+    return [
+        Finding(
+            rule="false-sharing-risk",
+            severity="warning",
+            score=min(1.0, share),
+            message=(
+                f"{loc.false_shared_lines} cache lines "
+                f"({share:.0%} of the working set) are written from two or "
+                f"more w-partitions of the same s-partition — on real "
+                f"hardware those lines ping-pong between cores"
+            ),
+            evidence={
+                "false_shared_lines": loc.false_shared_lines,
+                "distinct_lines": loc.distinct_lines,
+                "share": share,
+                "worst_spartition": worst.s,
+                "worst_spartition_lines": worst.false_shared_lines,
+                "line_bytes": loc.line_bytes,
+            },
+            hint=(
+                "align w-partition boundaries to cache-line multiples of "
+                "the written vectors, or pad shared accumulation targets; "
+                "atomic scatter kernels (SpMV-CSC) are the usual source"
+            ),
+        )
+    ]
+
+
 #: rule registry, applied in order; extend freely.
 RULES = (
     rule_barrier_share,
     rule_idle,
     rule_memory_bound,
     rule_packing,
+    rule_measured_reuse,
+    rule_false_sharing,
     rule_span_bound,
     rule_underfilled,
 )
@@ -427,6 +573,7 @@ def diagnose(
     report: MachineReport | None = None,
     profile: ScheduleProfile | None = None,
     thresholds: DoctorThresholds | None = None,
+    locality=None,
 ) -> DoctorReport:
     """Diagnose *schedule*; returns ranked findings with evidence.
 
@@ -434,6 +581,11 @@ def diagnose(
     the simulation, and/or a precomputed *profile*; otherwise both are
     computed here. ``fidelity="cache"`` enables the locality rules
     (memory-bound, measured-reuse packing evidence).
+
+    *locality* — a :class:`repro.analytics.locality.LocalityReport` for
+    the same schedule — upgrades the packing rule from heuristic to
+    measured and enables the ``low-measured-reuse`` and
+    ``false-sharing-risk`` rules.
     """
     cfg = config or MachineConfig()
     thr = thresholds or DoctorThresholds()
@@ -448,6 +600,7 @@ def diagnose(
         report=report,
         profile=profile,
         thresholds=thr,
+        locality=locality,
     )
     findings: list[Finding] = []
     for rule in RULES:
@@ -461,6 +614,7 @@ def diagnose(
             "fidelity": fidelity,
             "scheduler": schedule.meta.get("scheduler", "unknown"),
             "packing": schedule.packing,
+            "measured_locality": locality is not None,
             "n_spartitions": schedule.n_spartitions,
             "n_vertices": schedule.n_vertices,
         },

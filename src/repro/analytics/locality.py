@@ -1,0 +1,551 @@
+"""Measured-locality profiler: reuse distances from the real access stream.
+
+The inspector's ``compute_reuse`` (Sec. 2.2, used for the Fig. 3 packing
+decision) *estimates* data reuse from variable sizes. This module
+*measures* it: the profiler replays the exact cache-line access stream a
+schedule induces — per w-partition, in executed (packed) order, built
+from the same per-iteration access maps the inspector joins — and
+derives:
+
+* **reuse-distance histograms** per w-partition (exact LRU stack
+  distances over cache lines, Bennett–Kruskal with a Fenwick tree), and
+  the modeled hit rate of a ``capacity_lines``-line cache;
+* **working sets**: distinct cache lines touched per w-partition and
+  per s-partition;
+* a **measured reuse ratio** — the paper's
+  ``2 * common / max(total1, total2)`` metric computed from the
+  *observed* distinct ``(variable, element)`` footprints of the first
+  kernel pair, directly comparable to the estimate;
+* the **counterfactual packing**: the same schedule re-packed the other
+  way (:func:`repro.fusion.fused.repack_schedule`, interleaved vs
+  separated — Fig. 3 / Table 1) is replayed too, and the hit-rate gap
+  says whether the inspector's packing choice was right *on this
+  matrix*, not just on the size estimate;
+* a **false-sharing risk** count: cache lines written from two or more
+  w-partitions of the same s-partition (concurrent writers on real
+  hardware).
+
+Everything is emitted as registered counters (``locality.*`` in
+:mod:`repro.obs.names`) and can be merged into the unified Perfetto
+trace as counter tracks (``export_perfetto(..., locality=...)``). The
+schedule doctor consumes the report to upgrade its packing rule from
+heuristic to measured (:mod:`repro.analytics.doctor`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.base import Kernel, internal_var
+from ..obs import current as current_recorder
+from ..obs import names
+from ..schedule.schedule import FusedSchedule
+
+__all__ = [
+    "WPartitionLocality",
+    "SPartitionLocality",
+    "LocalityReport",
+    "profile_locality",
+    "reuse_distance_histogram",
+]
+
+#: histogram bucket upper bounds (lines); last bucket is open-ended,
+#: -1 collects cold (first-touch) accesses
+_BUCKETS = (4, 16, 64, 256, 1024, 4096)
+
+
+def reuse_distance_histogram(
+    stream: np.ndarray, *, capacity_lines: int
+) -> tuple[np.ndarray, float, float]:
+    """Exact LRU stack distances of *stream* (1-D line-id array).
+
+    Returns ``(bucket_counts, hit_rate, mean_distance)`` where
+    ``bucket_counts`` has one cold-miss bucket followed by one bucket
+    per ``_BUCKETS`` bound plus an overflow bucket, ``hit_rate`` is the
+    fraction of accesses with distance < *capacity_lines* (cold misses
+    count as misses) and ``mean_distance`` averages over reused accesses
+    only (NaN-free: 0.0 when nothing is reused).
+
+    Bennett–Kruskal: walk the stream keeping each line's last position;
+    the stack distance is the number of *distinct* lines touched since,
+    counted with a Fenwick tree over positions — O(n log n).
+    """
+    n = stream.shape[0]
+    hist = np.zeros(len(_BUCKETS) + 2, dtype=np.int64)
+    if n == 0:
+        return hist, 0.0, 0.0
+    # Fenwick tree over stream positions; tree[i] counts "last
+    # occurrences" in a range. 1-based internally.
+    tree = np.zeros(n + 1, dtype=np.int64)
+
+    def add(pos: int, delta: int) -> None:
+        i = pos + 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix(pos: int) -> int:
+        # count of last-occurrences in positions [0, pos]
+        i = pos + 1
+        s = 0
+        while i > 0:
+            s += tree[i]
+            i -= i & (-i)
+        return s
+
+    last: dict[int, int] = {}
+    hits = 0
+    dist_sum = 0
+    n_reused = 0
+    bounds = _BUCKETS
+    for t in range(n):
+        line = int(stream[t])
+        prev = last.get(line)
+        if prev is None:
+            hist[0] += 1  # cold
+        else:
+            # distinct lines since prev (exclusive) = last-occurrence
+            # count in (prev, t)
+            d = prefix(t - 1) - prefix(prev)
+            dist_sum += d
+            n_reused += 1
+            if d < capacity_lines:
+                hits += 1
+            for b, bound in enumerate(bounds):
+                if d < bound:
+                    hist[1 + b] += 1
+                    break
+            else:
+                hist[-1] += 1
+            add(prev, -1)
+        add(t, 1)
+        last[line] = t
+    hit_rate = hits / n
+    mean = dist_sum / n_reused if n_reused else 0.0
+    return hist, hit_rate, mean
+
+
+@dataclass
+class WPartitionLocality:
+    """Reuse behaviour of one w-partition's access stream."""
+
+    s: int
+    w: int
+    n_accesses: int
+    working_set: int  #: distinct cache lines
+    histogram: np.ndarray  #: cold, <4, <16, <64, <256, <1024, <4096, >=4096
+    hit_rate: float
+    mean_reuse_distance: float
+
+
+@dataclass
+class SPartitionLocality:
+    """Aggregate locality of one s-partition (across its w-partitions)."""
+
+    s: int
+    n_accesses: int
+    working_set: int
+    hit_rate: float
+    false_shared_lines: int  #: lines written by >= 2 w-partitions
+
+
+@dataclass
+class LocalityReport:
+    """Everything the profiler measured for one schedule."""
+
+    packing: str
+    line_bytes: int
+    capacity_lines: int
+    n_accesses: int
+    distinct_lines: int
+    hit_rate: float
+    mean_reuse_distance: float
+    measured_reuse: float
+    estimated_reuse: float
+    counterfactual_packing: str | None
+    counterfactual_hit_rate: float | None
+    false_shared_lines: int
+    w_partitions: list[WPartitionLocality] = field(default_factory=list)
+    s_partitions: list[SPartitionLocality] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def packing_gap(self) -> float | None:
+        """Chosen-minus-counterfactual hit rate (negative = wrong pick)."""
+        if self.counterfactual_hit_rate is None:
+            return None
+        return self.hit_rate - self.counterfactual_hit_rate
+
+    @property
+    def measured_packing(self) -> str:
+        """Packing the *measured* reuse ratio selects (paper threshold 1)."""
+        return "interleaved" if self.measured_reuse >= 1.0 else "separated"
+
+    def summary(self) -> str:
+        gap = self.packing_gap
+        gap_s = f"{gap:+.3f}" if gap is not None else "n/a"
+        return (
+            f"locality[{self.packing}]: hit_rate={self.hit_rate:.3f} "
+            f"(counterfactual gap {gap_s}), measured_reuse="
+            f"{self.measured_reuse:.2f} (estimate {self.estimated_reuse:.2f}), "
+            f"{self.distinct_lines} lines / {self.n_accesses} accesses, "
+            f"{self.false_shared_lines} false-shared lines"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "packing": self.packing,
+            "line_bytes": self.line_bytes,
+            "capacity_lines": self.capacity_lines,
+            "n_accesses": self.n_accesses,
+            "distinct_lines": self.distinct_lines,
+            "hit_rate": self.hit_rate,
+            "mean_reuse_distance": self.mean_reuse_distance,
+            "measured_reuse": self.measured_reuse,
+            "estimated_reuse": self.estimated_reuse,
+            "measured_packing": self.measured_packing,
+            "counterfactual_packing": self.counterfactual_packing,
+            "counterfactual_hit_rate": self.counterfactual_hit_rate,
+            "packing_gap": self.packing_gap,
+            "false_shared_lines": self.false_shared_lines,
+            "seconds": self.seconds,
+            "w_partitions": [
+                {
+                    "s": w.s,
+                    "w": w.w,
+                    "n_accesses": w.n_accesses,
+                    "working_set": w.working_set,
+                    "histogram": w.histogram.tolist(),
+                    "hit_rate": w.hit_rate,
+                    "mean_reuse_distance": w.mean_reuse_distance,
+                }
+                for w in self.w_partitions
+            ],
+            "s_partitions": [
+                {
+                    "s": s.s,
+                    "n_accesses": s.n_accesses,
+                    "working_set": s.working_set,
+                    "hit_rate": s.hit_rate,
+                    "false_shared_lines": s.false_shared_lines,
+                }
+                for s in self.s_partitions
+            ],
+        }
+
+    def emit(self) -> None:
+        """Record the headline numbers as registered ``locality.*`` counters."""
+        rec = current_recorder()
+        if not rec.enabled:
+            return
+        rec.count(names.LOCALITY_ACCESSES, self.n_accesses)
+        rec.count(names.LOCALITY_DISTINCT_LINES, self.distinct_lines)
+        rec.count(names.LOCALITY_MEASURED_REUSE, self.measured_reuse)
+        rec.count(names.LOCALITY_ESTIMATED_REUSE, self.estimated_reuse)
+        rec.count(names.LOCALITY_MEAN_REUSE_DISTANCE, self.mean_reuse_distance)
+        rec.count(names.LOCALITY_HIT_RATE, self.hit_rate)
+        if self.counterfactual_hit_rate is not None:
+            rec.count(
+                names.LOCALITY_COUNTERFACTUAL_HIT_RATE,
+                self.counterfactual_hit_rate,
+            )
+            rec.count(names.LOCALITY_PACKING_GAP, self.packing_gap)
+        rec.count(names.LOCALITY_FALSE_SHARED_LINES, self.false_shared_lines)
+        rec.count(names.LOCALITY_SECONDS, self.seconds)
+
+
+# ----------------------------------------------------------------------
+# access-stream assembly (line granularity, executed order)
+# ----------------------------------------------------------------------
+def _line_layout(
+    kernels: list[Kernel], line_bytes: int, elem_bytes: int = 8
+) -> tuple[dict[str, int], int]:
+    """Line-aligned base line-id of every variable; returns total lines.
+
+    Variables are laid out back to back, each starting on a fresh cache
+    line (as separate float64 allocations would), so two variables never
+    share a line and ``line(var, elem) = base[var] + elem * 8 // line_bytes``.
+    """
+    per_line = max(1, line_bytes // elem_bytes)
+    sizes: dict[str, int] = {}
+    for k in kernels:
+        for var, size in k.var_sizes().items():
+            sizes[var] = max(sizes.get(var, 0), size)
+    base: dict[str, int] = {}
+    next_line = 0
+    for var in sorted(sizes):
+        base[var] = next_line
+        next_line += (sizes[var] + per_line - 1) // per_line
+    return base, next_line
+
+
+def _vertex_lines(
+    kernels: list[Kernel],
+    offsets: np.ndarray,
+    base: dict[str, int],
+    line_bytes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-vertex accessed cache lines, deduped within the vertex.
+
+    Returns ``(indptr, lines, written)`` where ``lines[indptr[g]:
+    indptr[g+1]]`` are the distinct lines vertex ``g`` touches and
+    ``written`` marks lines the vertex writes.
+    """
+    per_line = max(1, line_bytes // 8)
+    n_vertices = int(offsets[-1])
+    vert_lines: list[np.ndarray] = [None] * n_vertices  # type: ignore[list-item]
+    vert_written: list[np.ndarray] = [None] * n_vertices  # type: ignore[list-item]
+    for ki, kern in enumerate(kernels):
+        n = kern.n_iterations
+        per_iter_read: list[list[np.ndarray]] = [[] for _ in range(n)]
+        per_iter_write: list[list[np.ndarray]] = [[] for _ in range(n)]
+        for var in kern.all_vars:
+            rmap, wmap = kern.access_maps(var)
+            b = base[var]
+            for bucket, m in ((per_iter_read, rmap), (per_iter_write, wmap)):
+                if m is None:
+                    continue
+                indptr, idx = m
+                lines = b + np.asarray(idx, dtype=np.int64) // per_line
+                for i in range(n):
+                    seg = lines[indptr[i] : indptr[i + 1]]
+                    if seg.shape[0]:
+                        bucket[i].append(seg)
+        off = int(offsets[ki])
+        for i in range(n):
+            w = (
+                np.unique(np.concatenate(per_iter_write[i]))
+                if per_iter_write[i]
+                else np.empty(0, dtype=np.int64)
+            )
+            both = per_iter_read[i] + per_iter_write[i]
+            a = (
+                np.unique(np.concatenate(both))
+                if both
+                else np.empty(0, dtype=np.int64)
+            )
+            vert_lines[off + i] = a
+            vert_written[off + i] = w
+    counts = np.array([v.shape[0] for v in vert_lines], dtype=np.int64)
+    indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    lines = (
+        np.concatenate(vert_lines)
+        if n_vertices
+        else np.empty(0, dtype=np.int64)
+    )
+    written = np.zeros(lines.shape[0], dtype=bool)
+    for g in range(n_vertices):
+        w = vert_written[g]
+        if w.shape[0]:
+            seg = lines[indptr[g] : indptr[g + 1]]
+            written[indptr[g] : indptr[g + 1]] = np.isin(seg, w)
+    return indptr, lines, written
+
+
+def _replay(
+    schedule: FusedSchedule,
+    indptr: np.ndarray,
+    lines: np.ndarray,
+    written: np.ndarray,
+    capacity_lines: int,
+) -> tuple[list[WPartitionLocality], list[SPartitionLocality], int, float, float, int]:
+    """Replay *schedule*'s per-w-partition streams through the LRU model."""
+    w_parts: list[WPartitionLocality] = []
+    s_parts: list[SPartitionLocality] = []
+    total_accesses = 0
+    total_hits = 0
+    dist_weighted = 0.0
+    n_reused_total = 0
+    all_lines: set[int] = set()
+    total_false = 0
+    for s, wlist in enumerate(schedule.s_partitions):
+        s_accesses = 0
+        s_hits = 0
+        s_lines: set[int] = set()
+        writers: dict[int, int] = {}  # line -> first writing w (or -2 if >=2)
+        false_here = 0
+        for w, verts in enumerate(wlist):
+            if verts.shape[0] == 0:
+                continue
+            segs = [lines[indptr[g] : indptr[g + 1]] for g in verts.tolist()]
+            stream = (
+                np.concatenate(segs) if segs else np.empty(0, dtype=np.int64)
+            )
+            hist, hit_rate, mean_d = reuse_distance_histogram(
+                stream, capacity_lines=capacity_lines
+            )
+            ws = int(np.unique(stream).shape[0]) if stream.shape[0] else 0
+            n_reused = int(hist[1:].sum())
+            w_parts.append(
+                WPartitionLocality(
+                    s=s,
+                    w=w,
+                    n_accesses=int(stream.shape[0]),
+                    working_set=ws,
+                    histogram=hist,
+                    hit_rate=hit_rate,
+                    mean_reuse_distance=mean_d,
+                )
+            )
+            s_accesses += stream.shape[0]
+            s_hits += int(round(hit_rate * stream.shape[0]))
+            s_lines.update(np.unique(stream).tolist())
+            dist_weighted += mean_d * n_reused
+            n_reused_total += n_reused
+            for g in verts.tolist():
+                seg_w = lines[indptr[g] : indptr[g + 1]][
+                    written[indptr[g] : indptr[g + 1]]
+                ]
+                for line in seg_w.tolist():
+                    prev = writers.get(line)
+                    if prev is None:
+                        writers[line] = w
+                    elif prev != w and prev != -2:
+                        writers[line] = -2
+                        false_here += 1
+        s_parts.append(
+            SPartitionLocality(
+                s=s,
+                n_accesses=int(s_accesses),
+                working_set=len(s_lines),
+                hit_rate=(s_hits / s_accesses) if s_accesses else 0.0,
+                false_shared_lines=false_here,
+            )
+        )
+        total_accesses += s_accesses
+        total_hits += s_hits
+        all_lines.update(s_lines)
+        total_false += false_here
+    hit_rate = total_hits / total_accesses if total_accesses else 0.0
+    mean_d = dist_weighted / n_reused_total if n_reused_total else 0.0
+    return w_parts, s_parts, total_accesses, hit_rate, mean_d, len(all_lines)
+
+
+def _measured_reuse(kernels: list[Kernel]) -> float:
+    """The paper's reuse metric from *observed* element footprints.
+
+    ``2 * |common| / max(|footprint1|, |footprint2|)`` over distinct
+    non-internal ``(variable, element)`` accesses of the first kernel
+    pair — the measured analogue of
+    :func:`repro.fusion.inspector.compute_reuse`.
+    """
+    if len(kernels) < 2:
+        return 0.0
+
+    def footprint(kern: Kernel) -> set[tuple[str, int]]:
+        out: set[tuple[str, int]] = set()
+        for var in kern.all_vars:
+            if internal_var(var):
+                continue
+            rmap, wmap = kern.access_maps(var)
+            for m in (rmap, wmap):
+                if m is None:
+                    continue
+                out.update((var, int(e)) for e in np.unique(m[1]))
+        return out
+
+    f1 = footprint(kernels[0])
+    f2 = footprint(kernels[1])
+    denom = max(len(f1), len(f2))
+    if denom == 0:
+        return 0.0
+    return 2.0 * len(f1 & f2) / denom
+
+
+def profile_locality(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    *,
+    line_bytes: int = 64,
+    capacity_lines: int = 512,
+    counterfactual: bool = True,
+    dags=None,
+    inter=None,
+    estimated_reuse: float | None = None,
+) -> LocalityReport:
+    """Measure the locality a schedule actually induces.
+
+    ``capacity_lines`` models a private cache (default 512 lines = 32 KiB
+    of 64-byte lines, an L1d). With ``counterfactual=True`` the schedule
+    is re-packed the other way (interleaved <-> separated) and replayed,
+    so :attr:`LocalityReport.packing_gap` quantifies the packing
+    decision; *dags*/*inter* are reused when given and recomputed via
+    :func:`repro.fusion.fused.inspect_loops` otherwise. The report is
+    emitted as registered ``locality.*`` counters.
+    """
+    t0 = time.perf_counter()
+    rec = current_recorder()
+    with rec.span(
+        "locality.profile",
+        packing=schedule.packing,
+        vertices=schedule.n_vertices,
+    ) as span:
+        offsets = schedule.offsets
+        base, _ = _line_layout(kernels, line_bytes)
+        indptr, all_lines, written = _vertex_lines(
+            kernels, offsets, base, line_bytes
+        )
+        w_parts, s_parts, n_acc, hit_rate, mean_d, distinct = _replay(
+            schedule, indptr, all_lines, written, capacity_lines
+        )
+        est = estimated_reuse
+        cf_packing = cf_hit = None
+        if counterfactual or est is None:
+            from ..fusion.fused import inspect_loops, repack_schedule
+
+            if counterfactual:
+                if dags is None or inter is None:
+                    dags, inter, reuse = inspect_loops(kernels)
+                    if est is None:
+                        est = reuse
+                other = (
+                    "separated"
+                    if schedule.packing == "interleaved"
+                    else "interleaved"
+                )
+                try:
+                    cf_sched = repack_schedule(schedule, dags, inter, other)
+                except Exception:
+                    cf_sched = None
+                if cf_sched is not None:
+                    _, _, _, cf_hit, _, _ = _replay(
+                        cf_sched, indptr, all_lines, written, capacity_lines
+                    )
+                    cf_packing = other
+            if est is None:
+                from ..fusion.inspector import compute_reuse
+
+                est = (
+                    compute_reuse(kernels[0], kernels[1])
+                    if len(kernels) > 1
+                    else 0.0
+                )
+        report = LocalityReport(
+            packing=schedule.packing,
+            line_bytes=line_bytes,
+            capacity_lines=capacity_lines,
+            n_accesses=n_acc,
+            distinct_lines=distinct,
+            hit_rate=hit_rate,
+            mean_reuse_distance=mean_d,
+            measured_reuse=_measured_reuse(kernels),
+            estimated_reuse=float(est if est is not None else 0.0),
+            counterfactual_packing=cf_packing,
+            counterfactual_hit_rate=cf_hit,
+            false_shared_lines=sum(s.false_shared_lines for s in s_parts),
+            w_partitions=w_parts,
+            s_partitions=s_parts,
+            seconds=time.perf_counter() - t0,
+        )
+        report.seconds = time.perf_counter() - t0
+        span.set(
+            accesses=n_acc,
+            hit_rate=round(hit_rate, 4),
+            measured_reuse=round(report.measured_reuse, 4),
+        )
+        report.emit()
+    return report

@@ -172,6 +172,22 @@ def diff_payloads(bench: str, baseline: dict, fresh: dict) -> list[DiffRow]:
     return rows
 
 
+def _read_results(path: Path) -> dict:
+    """Parse one results JSON; failures name the offending file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(
+            f"cannot read benchmark results from '{path}': {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"cannot read benchmark results from '{path}': top level is "
+            f"{type(payload).__name__}, expected a results object"
+        )
+    return payload
+
+
 def diff_dirs(
     baseline_dir, fresh_dir, *, benches: list[str] | None = None
 ) -> list[DiffRow]:
@@ -191,8 +207,8 @@ def diff_dirs(
     rows: list[DiffRow] = []
     for name in names:
         bp, fp = baseline_dir / f"{name}.json", fresh_dir / f"{name}.json"
-        base = json.loads(bp.read_text()) if bp.exists() else None
-        fresh = json.loads(fp.read_text()) if fp.exists() else None
+        base = _read_results(bp) if bp.exists() else None
+        fresh = _read_results(fp) if fp.exists() else None
         if base is None:
             rows.extend(diff_payloads(name, {}, fresh))
         elif fresh is None:

@@ -25,11 +25,21 @@ Commands
     Benchmark regression guard: diff fresh ``benchmarks/results``
     JSONs against the committed baselines, or run the ``--smoke``
     absolute-floor checks (the CI guardrail).
+``sanitize``
+    Dynamic dependence sanitizer: shadow-check every memory dependence
+    of a fused schedule under the happens-before model of one (or all)
+    executors (:mod:`repro.obs.memtrace`). Exit 1 on violations.
+``locality``
+    Measured-locality profiler: reuse-distance histograms, working
+    sets, measured reuse ratio and the counterfactual-packing gap
+    (:mod:`repro.analytics.locality`).
 
 ``fuse``, ``compare`` and ``gs`` also accept ``--trace PATH`` to record
 the run and write the unified Perfetto trace alongside their normal
-output; ``compare`` and ``gs`` accept ``--doctor`` to append the
-schedule doctor's findings.
+output, and ``--sanitize`` to run the dependence sanitizer before
+executing; ``compare`` and ``gs`` accept ``--doctor`` to append the
+schedule doctor's findings, and ``doctor`` accepts ``--locality`` to
+feed measured locality into its rules.
 
 Matrix specs are either a Matrix Market path (``path/to/m.mtx``) or a
 synthetic generator spec: ``lap2d:N``, ``lap3d:N``, ``fe3d:N``,
@@ -112,7 +122,7 @@ def parse_matrix_spec(spec: str):
     if ":" in spec and spec.split(":", 1)[0] in _GENERATORS:
         name, rest = spec.split(":", 1)
         return _GENERATORS[name](rest.split(","))
-    return read_matrix_market(spec)
+    return _read_artifact("matrix", spec, read_matrix_market)
 
 
 def _load(args):
@@ -167,6 +177,19 @@ def _write_artifact(what, path, write):
         raise CLIError(f"cannot write {what} to '{path}': {detail}") from exc
 
 
+def _read_artifact(what, path, read):
+    """Run *read* (a ``path -> value`` callable); turn a missing or
+    unreadable input artifact (matrix file, schedule/trace JSON) into a
+    clear ``error: cannot read ...`` + exit 2 instead of a traceback."""
+    try:
+        return read(path)
+    except (OSError, IsADirectoryError) as exc:
+        detail = exc.strerror or str(exc)
+        raise CLIError(f"cannot read {what} from '{path}': {detail}") from exc
+    except ValueError as exc:
+        raise CLIError(f"cannot read {what} from '{path}': {exc}") from exc
+
+
 def _write_unified_trace(rec, path, schedule, kernels, n_threads) -> None:
     out = _write_artifact(
         "unified trace",
@@ -201,7 +224,7 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _execute_with(executor, schedule, kernels, state, min_batch):
+def _execute_with(executor, schedule, kernels, state, min_batch, sanitize=False):
     """Run *schedule* under the named executor; returns wall seconds."""
     import time
 
@@ -213,11 +236,15 @@ def _execute_with(executor, schedule, kernels, state, min_batch):
 
     t0 = time.perf_counter()
     if executor == "plan":
-        execute_schedule_planned(schedule, kernels, state, min_batch=min_batch)
+        execute_schedule_planned(
+            schedule, kernels, state, min_batch=min_batch, sanitize=sanitize
+        )
     elif executor == "batched":
-        execute_schedule_batched(schedule, kernels, state, min_batch=min_batch)
+        execute_schedule_batched(
+            schedule, kernels, state, min_batch=min_batch, sanitize=sanitize
+        )
     else:
-        execute_schedule(schedule, kernels, state)
+        execute_schedule(schedule, kernels, state, sanitize=sanitize)
     return time.perf_counter() - t0
 
 
@@ -228,10 +255,17 @@ def _cmd_fuse(args) -> int:
     with ctx:
         fl = fuse(kernels, args.threads, scheduler=args.scheduler)
         executed = _execute_with(
-            args.executor, fl.schedule, kernels, state, args.min_batch
+            args.executor,
+            fl.schedule,
+            kernels,
+            state,
+            args.min_batch,
+            sanitize=args.sanitize,
         )
     combo = COMBINATIONS[args.combo]
     print(f"combination {args.combo} ({combo.name}): {combo.operations}")
+    if args.sanitize:
+        print(f"sanitizer   clean ({args.executor} happens-before model)")
     print(f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing")
     print(f"inspector   {fl.inspector_seconds * 1e3:.1f} ms")
     print(f"executed    {executed * 1e3:.1f} ms ({args.executor} executor)")
@@ -259,6 +293,7 @@ def _cmd_compare(args) -> int:
             kernels,
             state,
             args.min_batch,
+            sanitize=args.sanitize,
         )
     print(f"{'implementation':16s} {'GFLOP/s':>8s} {'sim time':>10s} "
           f"{'barriers':>8s} {'inspect':>9s}")
@@ -315,8 +350,19 @@ def _cmd_gs(args) -> int:
         f"{res.meta['chunks']} chunks of {2 * args.unroll} fused loops"
     )
     print(_pipeline_summary(rec))
-    if args.doctor or args.trace:
+    if args.doctor or args.trace or args.sanitize:
         kernels, _, _ = build_gs_chain(a, args.unroll)
+        if args.sanitize:
+            from .obs.memtrace import sanitize_schedule
+
+            report = sanitize_schedule(
+                res.schedule,
+                kernels,
+                executor=args.executor,
+                min_batch=args.min_batch,
+            )
+            print(report.summary())
+            report.raise_if_violations()
         if args.doctor:
             print()
             _run_doctor(res.schedule, kernels, args)
@@ -355,7 +401,9 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _run_doctor(schedule, kernels, args, *, fidelity=None, json_path=None, top=5):
+def _run_doctor(
+    schedule, kernels, args, *, fidelity=None, json_path=None, top=5, locality=None
+):
     """Shared doctor driver: diagnose, print, optionally dump JSON."""
     import json as _json
 
@@ -366,6 +414,7 @@ def _run_doctor(schedule, kernels, args, *, fidelity=None, json_path=None, top=5
         kernels,
         MachineConfig(n_threads=args.threads),
         fidelity=fidelity or getattr(args, "fidelity", "flat"),
+        locality=locality,
     )
     print(report.format_table(top=top or None))
     if json_path:
@@ -397,6 +446,18 @@ def _cmd_doctor(args) -> int:
         f"reuse ratio {fl.reuse_ratio:.3f} -> {fl.schedule.packing} packing, "
         f"{fl.schedule.n_spartitions} s-partitions\n"
     )
+    locality = None
+    if args.locality:
+        from .analytics import profile_locality
+
+        locality = profile_locality(
+            fl.schedule,
+            kernels,
+            dags=fl.dags,
+            inter=fl.inter,
+            estimated_reuse=fl.reuse_ratio,
+        )
+        print(locality.summary() + "\n")
     _run_doctor(
         fl.schedule,
         kernels,
@@ -404,9 +465,107 @@ def _cmd_doctor(args) -> int:
         fidelity=args.fidelity,
         json_path=args.json,
         top=args.top,
+        locality=locality,
     )
     if args.trace:
         _write_unified_trace(rec, args.trace, fl.schedule, kernels, args.threads)
+    return 0
+
+
+def _cmd_sanitize(args) -> int:
+    import json as _json
+
+    from .obs.memtrace import sanitize_schedule
+
+    a = _load(args)
+    kernels, _ = build_combination(args.combo, a)
+    combo = COMBINATIONS[args.combo]
+    fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+    executors = (
+        ("iter", "batched", "plan") if args.executor == "all" else (args.executor,)
+    )
+    print(f"combination {args.combo} ({combo.name}): {combo.operations}")
+    print(
+        f"schedule    {fl.schedule.n_spartitions} s-partitions, "
+        f"{fl.schedule.n_vertices} vertices ({args.scheduler})"
+    )
+    reports = [
+        sanitize_schedule(
+            fl.schedule, kernels, executor=ex, min_batch=args.min_batch
+        )
+        for ex in executors
+    ]
+    for report in reports:
+        print(report.format(max_lines=args.max_violations))
+    if args.json:
+        _write_artifact(
+            "sanitizer report",
+            args.json,
+            lambda p: _write_text(
+                p,
+                _json.dumps([r.to_json() for r in reports], indent=2),
+            ),
+        )
+        print(f"sanitizer report written to {args.json}")
+    return 1 if any(not r.clean for r in reports) else 0
+
+
+def _cmd_locality(args) -> int:
+    import json as _json
+
+    from .analytics import profile_locality
+
+    a = _load(args)
+    kernels, _ = build_combination(args.combo, a)
+    combo = COMBINATIONS[args.combo]
+    rec, ctx = _start_recording(args)
+    with ctx:
+        fl = fuse(kernels, args.threads, scheduler=args.scheduler)
+        report = profile_locality(
+            fl.schedule,
+            kernels,
+            line_bytes=args.line_bytes,
+            capacity_lines=args.capacity_lines,
+            dags=fl.dags,
+            inter=fl.inter,
+            estimated_reuse=fl.reuse_ratio,
+        )
+    print(f"combination {args.combo} ({combo.name}): {combo.operations}")
+    print(report.summary())
+    print(
+        f"packing     measured ratio selects {report.measured_packing}; "
+        f"inspector chose {report.packing}"
+    )
+    hdr = f"{'s/w':>7s} {'accesses':>9s} {'lines':>7s} {'hit rate':>9s} {'mean dist':>10s}"
+    print(hdr)
+    for w in report.w_partitions[: args.top or None]:
+        print(
+            f"s{w.s}/w{w.w:<4d} {w.n_accesses:9d} {w.working_set:7d} "
+            f"{w.hit_rate:9.3f} {w.mean_reuse_distance:10.1f}"
+        )
+    if args.top and len(report.w_partitions) > args.top:
+        print(f"... {len(report.w_partitions) - args.top} more w-partitions")
+    if args.json:
+        _write_artifact(
+            "locality report",
+            args.json,
+            lambda p: _write_text(p, _json.dumps(report.to_json(), indent=2)),
+        )
+        print(f"locality report written to {args.json}")
+    if args.trace:
+        out = _write_artifact(
+            "unified trace",
+            args.trace,
+            lambda p: export_perfetto(
+                rec,
+                p,
+                schedule=fl.schedule,
+                kernels=kernels,
+                config=MachineConfig(n_threads=args.threads),
+                locality=report,
+            ),
+        )
+        print(f"unified trace written to {out} (open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -432,7 +591,12 @@ def _cmd_bench_diff(args) -> int:
         for label, d in (("baseline", args.baseline), ("fresh", args.fresh)):
             if not Path(d).is_dir():
                 raise CLIError(f"{label} results directory '{d}' not found")
-        rows = diff_dirs(args.baseline, args.fresh, benches=args.bench or None)
+        try:
+            rows = diff_dirs(
+                args.baseline, args.fresh, benches=args.bench or None
+            )
+        except ValueError as exc:
+            raise CLIError(str(exc)) from exc
     if not rows:
         raise CLIError("no benchmark results to compare")
     print(format_diff_table(rows, only_interesting=args.only_interesting))
@@ -504,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
                 default=4,
                 help="group size below which iterations run scalar "
                 "(see repro.runtime.batched for the tradeoff)",
+            )
+            sp.add_argument(
+                "--sanitize",
+                action="store_true",
+                help="shadow-check every memory dependence under the "
+                "chosen executor's happens-before model before running "
+                "(exit 1 on violations; see `repro sanitize`)",
             )
 
     sp = sub.add_parser("info", help="matrix and DAG statistics")
@@ -581,7 +752,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="show only the top N findings (0 = all)",
     )
+    sp.add_argument(
+        "--locality",
+        action="store_true",
+        help="run the measured-locality profiler first and feed it to "
+        "the rules (measured packing judgement, low-measured-reuse, "
+        "false-sharing-risk)",
+    )
     sp.set_defaults(fn=_cmd_doctor)
+
+    sp = sub.add_parser(
+        "sanitize",
+        help="dynamic dependence sanitizer: check a fused schedule's "
+        "memory dependences under each executor's happens-before model",
+    )
+    common(sp)
+    sp.add_argument("--combo", type=int, default=1, choices=sorted(COMBINATIONS))
+    sp.add_argument(
+        "--scheduler",
+        default="ico",
+        choices=("ico", "joint-wavefront", "joint-lbc", "joint-dagp", "joint-hdagg"),
+    )
+    sp.add_argument(
+        "--executor",
+        default="all",
+        choices=("iter", "batched", "plan", "all"),
+        help="happens-before model to check under (default: all three)",
+    )
+    sp.add_argument(
+        "--min-batch",
+        type=int,
+        default=4,
+        help="batch threshold for the batched/plan models",
+    )
+    sp.add_argument(
+        "--max-violations",
+        type=int,
+        default=10,
+        help="violations to print per executor (the count is exact)",
+    )
+    sp.add_argument("--json", metavar="PATH", help="also write the reports as JSON")
+    sp.set_defaults(fn=_cmd_sanitize)
+
+    sp = sub.add_parser(
+        "locality",
+        help="measured-locality profiler: reuse distances, working sets "
+        "and the counterfactual-packing gap for one combination",
+    )
+    common(sp, trace=True)
+    sp.add_argument("--combo", type=int, default=1, choices=sorted(COMBINATIONS))
+    sp.add_argument(
+        "--scheduler",
+        default="ico",
+        choices=("ico", "joint-wavefront", "joint-lbc", "joint-dagp", "joint-hdagg"),
+    )
+    sp.add_argument(
+        "--line-bytes",
+        type=int,
+        default=64,
+        help="modeled cache-line size (default 64)",
+    )
+    sp.add_argument(
+        "--capacity-lines",
+        type=int,
+        default=512,
+        help="modeled private-cache capacity in lines (default 512 = 32 KiB)",
+    )
+    sp.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="w-partition rows to print (0 = all)",
+    )
+    sp.add_argument("--json", metavar="PATH", help="also write the report as JSON")
+    sp.set_defaults(fn=_cmd_locality)
 
     sp = sub.add_parser(
         "bench-diff", help="benchmark regression guard (see docs/observability.md)"
@@ -621,9 +865,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    from .obs.memtrace import DependenceViolationError
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except DependenceViolationError as exc:
+        # a broken schedule, not a CLI usage error: report + exit 1
+        print(exc.report.format(), file=sys.stderr)
+        return 1
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -2,7 +2,7 @@
 
 from .codegen import CodegenUnsupported, generate_source, make_fused_executor
 from .combinations import COMBINATIONS, KernelCombination, build_combination
-from .fused import FusedLoops, fuse, inspect_loops
+from .fused import FusedLoops, fuse, inspect_loops, repack_schedule
 from .inspector import build_inter_dep, compute_reuse, shared_variables
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "FusedLoops",
     "fuse",
     "inspect_loops",
+    "repack_schedule",
     "build_inter_dep",
     "compute_reuse",
     "shared_variables",

@@ -32,7 +32,7 @@ from ..schedule.schedule import FusedSchedule, validate_schedule
 from ..schedule.wavefront import wavefront_schedule
 from .inspector import build_inter_dep, compute_reuse
 
-__all__ = ["fuse", "FusedLoops", "inspect_loops"]
+__all__ = ["fuse", "FusedLoops", "inspect_loops", "repack_schedule"]
 
 _JOINT_SCHEDULERS = {
     "joint-wavefront": wavefront_schedule,
@@ -297,3 +297,28 @@ def _repack(sched, dags, inter, packing):
     builder._build_global_adjacency()
     new_sparts = builder.repack_partitions(sched.s_partitions, packing)
     return FusedSchedule(loop_counts, new_sparts, packing=packing)
+
+
+def repack_schedule(
+    schedule: FusedSchedule,
+    dags: list[DAG],
+    inter: dict[tuple[int, int], InterDep],
+    packing: str,
+) -> FusedSchedule:
+    """*schedule* with each w-partition re-packed (Fig. 3's two variants).
+
+    Keeps every (s, w) placement and only reorders vertices inside each
+    w-partition into ``"interleaved"`` (dependence-topological mix of the
+    loops) or ``"separated"`` (loop-major) order — the counterfactual the
+    measured-locality profiler (:mod:`repro.analytics.locality`) compares
+    the chosen packing against.
+    """
+    if packing not in ("interleaved", "separated"):
+        raise ValueError(
+            f"unknown packing {packing!r}; expected 'interleaved' or 'separated'"
+        )
+    repacked = _repack(schedule, dags, inter, packing)
+    repacked.meta.update(
+        {k: v for k, v in schedule.meta.items() if k != "_execution_plans"}
+    )
+    return repacked

@@ -103,10 +103,8 @@ def build_inter_dep(
         pairs = []
         shared = shared_variables(k1, k2)
         for var in shared:
-            w1 = k1.write_map(var) if var in k1.write_vars else None
-            r1 = k1.read_map(var) if var in k1.read_vars else None
-            w2 = k2.write_map(var) if var in k2.write_vars else None
-            r2 = k2.read_map(var) if var in k2.read_vars else None
+            r1, w1 = k1.access_maps(var)
+            r2, w2 = k2.access_maps(var)
             if w1 is not None and r2 is not None:
                 pairs.append(_join_maps(w1, r2))
             if include_anti and r1 is not None and w2 is not None:

@@ -64,6 +64,15 @@ class Kernel(abc.ABC):
     #: ``Atomic`` annotation); the threaded executor serializes these.
     needs_atomic: bool = False
 
+    #: Per-variable commutative-update declaration: variable name ->
+    #: access kinds (``"read"``/``"write"``) that form a commutative
+    #: read-modify-write accumulation (``y[rows] += ...`` under the
+    #: paper's ``Atomic`` annotation). Two such accesses of the *same*
+    #: kernel commute, so the dynamic dependence sanitizer
+    #: (:mod:`repro.obs.memtrace`) requires no ordering between them.
+    #: Consuming reads and exclusive writes must never be declared here.
+    atomic_update_vars: dict[str, tuple[str, ...]] = {}
+
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
@@ -218,6 +227,26 @@ class Kernel(abc.ABC):
     def read_map(self, var: str) -> tuple[np.ndarray, np.ndarray]:
         """Full iteration->read-elements map as ``(indptr, indices)``."""
         return _build_map(self, var, kind="read")
+
+    def access_maps(
+        self, var: str
+    ) -> tuple[tuple[np.ndarray, np.ndarray] | None, tuple[np.ndarray, np.ndarray] | None]:
+        """Memoized ``(read_map, write_map)`` of *var*.
+
+        Each entry is an ``(indptr, indices)`` pair, or ``None`` when
+        the kernel never reads (writes) *var*. The maps depend only on
+        the kernel's immutable sparsity structure, so they are built at
+        most once; every map consumer — the inspector's inter-DAG join,
+        the dynamic dependence sanitizer, the locality profiler — then
+        walks the same arrays instead of re-deriving them per call.
+        """
+        cache = self.__dict__.setdefault("_access_maps", {})
+        hit = cache.get(var)
+        if hit is None:
+            read = self.read_map(var) if var in self.read_vars else None
+            write = self.write_map(var) if var in self.write_vars else None
+            hit = cache[var] = (read, write)
+        return hit
 
     # ------------------------------------------------------------------
     # Costs

@@ -234,6 +234,8 @@ class SpMVCSC(Kernel):
         self.a_var = a_var
         self.x_var = x_var
         self.y_var = y_var
+        # every access to y is part of the `y[rows] += ...` accumulation
+        self.atomic_update_vars = {y_var: ("read", "write")}
         self._dag: DAG | None = None
 
     @property

@@ -55,6 +55,8 @@ class SpMVSymLower(Kernel):
         self.a_var = a_var
         self.x_var = x_var
         self.y_var = y_var
+        # every access to y is part of the `y[touched] += ...` accumulation
+        self.atomic_update_vars = {y_var: ("read", "write")}
         self._dag: DAG | None = None
 
     @property

@@ -232,6 +232,9 @@ class SpTRSVCSC(Kernel):
         self.b_var = b_var
         self.x_var = x_var
         self.acc_var = f"_acc.{x_var}"
+        # the sub-diagonal scatter `acc[rows] += ...` commutes between
+        # columns; the consuming read `acc[j]` stays a plain read
+        self.atomic_update_vars = {self.acc_var: ("write",)}
         n = low.n_cols
         first = low.indptr[:-1]
         if np.any(np.diff(low.indptr) == 0) or np.any(

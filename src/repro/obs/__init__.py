@@ -14,6 +14,12 @@ from .exporters import (
     format_summary,
     stage_breakdown,
 )
+from .memtrace import (
+    DependenceViolationError,
+    SanitizeReport,
+    Violation,
+    sanitize_schedule,
+)
 from .recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -26,6 +32,10 @@ from .recorder import (
 
 __all__ = [
     "names",
+    "DependenceViolationError",
+    "SanitizeReport",
+    "Violation",
+    "sanitize_schedule",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",

@@ -73,13 +73,18 @@ def export_perfetto(
     kernels=None,
     config=None,
     fidelity: str = "flat",
+    locality=None,
 ) -> Path:
     """Write a Perfetto-loadable JSON trace of *rec* to *path*.
 
     Live spans appear under process ``"inspector (wall clock)"``; when
     *schedule* and *kernels* are given, the simulated executor timeline
     is appended under process ``"executor (simulated)"``, starting where
-    the live spans end — the unified pipeline trace.
+    the live spans end — the unified pipeline trace. A
+    :class:`repro.analytics.locality.LocalityReport` passed as
+    *locality* adds per-s-partition measured-locality counter tracks
+    (working set, hit rate) to the executor process and a summary to
+    ``otherData["locality"]``.
     """
     events: list[dict] = []
     tids: dict[int, int] = {}
@@ -147,10 +152,22 @@ def export_perfetto(
             t0_us=end_us,
             pid=EXECUTOR_PID,
             report=report,
+            locality=locality,
         )
         events.extend(sim_events)
         events.append(_process_name(EXECUTOR_PID, "executor (simulated)"))
 
+    loc_summary = None
+    if locality is not None:
+        loc_summary = {
+            "packing": locality.packing,
+            "hit_rate": locality.hit_rate,
+            "counterfactual_hit_rate": locality.counterfactual_hit_rate,
+            "packing_gap": locality.packing_gap,
+            "measured_reuse": locality.measured_reuse,
+            "estimated_reuse": locality.estimated_reuse,
+            "false_shared_lines": locality.false_shared_lines,
+        }
     payload = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -159,6 +176,7 @@ def export_perfetto(
             "counters": dict(rec.counters),
             "total_simulated_us": total_sim_us,
             "executor_attribution": attribution,
+            "locality": loc_summary,
         },
     }
     path = Path(path)

@@ -1,0 +1,551 @@
+"""Memory-access observability: the dynamic dependence sanitizer.
+
+The static oracle (:func:`repro.schedule.schedule.validate_schedule`)
+checks a schedule against the *declared* dependence graphs (intra-DAGs
+plus the inspector's ``F`` matrices). This module checks the same
+schedule against the *memory accesses themselves*: it replays the
+per-iteration element-granular read/write sets every kernel already
+declares (:meth:`~repro.kernels.base.Kernel.reads_of` /
+:meth:`~repro.kernels.base.Kernel.writes_of`) and verifies that every
+conflicting access pair — read-after-write, write-after-read,
+write-after-write on the same ``(variable, element)`` — is ordered by
+the schedule's happens-before relation:
+
+    ``HB(u, v)  ⟺  s(u) < s(v)``  (barrier between s-partitions)
+    ``          or s(u) = s(v) ∧ w(u) = w(v) ∧ t(u) < t(v)``
+
+where ``t`` is the executor's *dispatch* index inside a w-partition.
+Because ``t`` depends on how an executor groups iterations, the
+sanitizer models all three executors:
+
+* ``"iter"`` — one dispatch per iteration (packed order);
+* ``"batched"`` — one dispatch per vectorized run
+  (:func:`repro.runtime.batched.execute_schedule_batched`): members of
+  one batch share ``t`` and are treated as concurrent;
+* ``"plan"`` — one dispatch per compiled
+  :class:`~repro.runtime.plan.PlanStep`: a level batch's members are
+  concurrent, so the level-batching legality argument in
+  docs/performance.md is checked dynamically here, not just argued.
+
+Commutative scatter accumulations (``y[rows] += ...`` under the paper's
+``Atomic`` annotation) are declared per kernel via
+:attr:`~repro.kernels.base.Kernel.atomic_update_vars`: two such update
+accesses of the *same* kernel commute and need no ordering. All other
+conflicts — including a plain (consuming) read against an update, and
+any cross-kernel conflict — are checked.
+
+Soundness of the pair derivation: per ``(variable, element)`` the
+program-ordered access sequence is split into *layers* — a single
+exclusive write, a maximal run of plain reads, or a maximal run of
+same-kernel commutative updates — and every cross pair of adjacent
+layers is checked. Adjacent layers always conflict (two read layers
+merge; two same-kernel update layers merge), so the checked pairs chain
+transitively through every layer: any conflicting pair in the sequence
+is ordered if and only if all checked pairs are. This keeps the pair
+count linear-ish in the access-stream size instead of quadratic.
+
+Entry point: :func:`sanitize_schedule`, surfaced as ``sanitize=True``
+on all three ``execute_schedule*`` functions and as ``repro sanitize``
+/ ``--sanitize`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.base import Kernel
+from ..schedule.schedule import FusedSchedule, ScheduleError
+from ..sparse.base import INDEX_DTYPE
+from ..utils.arrays import multi_range
+from . import names
+from .recorder import current as current_recorder
+
+__all__ = [
+    "AccessStream",
+    "DependencePairs",
+    "AccessSite",
+    "Violation",
+    "SanitizeReport",
+    "DependenceViolationError",
+    "collect_access_stream",
+    "derive_dependence_pairs",
+    "execution_coordinates",
+    "sanitize_schedule",
+]
+
+#: access-kind codes in the stream (``update`` = commutative RMW)
+READ, WRITE, UPDATE = 0, 1, 2
+
+_KIND_LABEL = {
+    (WRITE, READ): "RAW",
+    (UPDATE, READ): "RAW",
+    (READ, WRITE): "WAR",
+    (READ, UPDATE): "WAR",
+    (WRITE, WRITE): "WAW",
+    (WRITE, UPDATE): "WAW",
+    (UPDATE, WRITE): "WAW",
+    (UPDATE, UPDATE): "WAW",
+}
+
+
+@dataclass
+class AccessStream:
+    """Flat element-granular access stream of a whole fused program.
+
+    One entry per declared ``(vertex, variable, element, kind)`` access;
+    entries are in no particular order until a consumer sorts them.
+    """
+
+    var: np.ndarray  #: variable id (index into :attr:`var_names`)
+    elem: np.ndarray  #: element index within the variable
+    gid: np.ndarray  #: global vertex id (program order)
+    kind: np.ndarray  #: READ / WRITE / UPDATE
+    loop: np.ndarray  #: loop (kernel) index of the vertex
+    var_names: tuple[str, ...]
+    n_vertices: int
+
+    @property
+    def n_accesses(self) -> int:
+        return int(self.var.shape[0])
+
+
+@dataclass
+class DependencePairs:
+    """Program-ordered conflicting access pairs that require ordering."""
+
+    u_gid: np.ndarray  #: earlier access's vertex (program order)
+    v_gid: np.ndarray  #: later access's vertex
+    var: np.ndarray  #: variable id of the conflict
+    elem: np.ndarray  #: element index of the conflict
+    kind_u: np.ndarray
+    kind_v: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.u_gid.shape[0])
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """Provenance of one access: which iteration, placed where."""
+
+    loop: int
+    iteration: int
+    vertex: int
+    s: int
+    w: int
+    t: int
+
+    def describe(self) -> str:
+        return (
+            f"loop {self.loop} iter {self.iteration} "
+            f"(vertex {self.vertex}, s={self.s}, w={self.w}, t={self.t})"
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One dependence the schedule fails to order.
+
+    ``producer`` is the program-order-earlier access, ``consumer`` the
+    later one; the schedule must make ``producer`` happen before
+    ``consumer`` and does not.
+    """
+
+    kind: str  # "RAW" | "WAR" | "WAW"
+    var: str
+    index: int
+    producer: AccessSite
+    consumer: AccessSite
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} on {self.var}[{self.index}]: "
+            f"{self.producer.describe()} must precede "
+            f"{self.consumer.describe()}"
+        )
+
+
+class DependenceViolationError(ScheduleError):
+    """Raised when the sanitizer finds unordered dependences."""
+
+    def __init__(self, report: "SanitizeReport"):
+        self.report = report
+        super().__init__(report.summary())
+
+
+@dataclass
+class SanitizeReport:
+    """Outcome of one sanitizer run against one executor model."""
+
+    executor: str
+    n_accesses: int
+    n_pairs: int
+    n_violations: int
+    violations: list[Violation] = field(default_factory=list)  # capped
+    seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return self.n_violations == 0
+
+    def summary(self) -> str:
+        if self.clean:
+            return (
+                f"sanitizer[{self.executor}]: clean — {self.n_pairs} "
+                f"dependence pairs over {self.n_accesses} accesses"
+            )
+        head = self.violations[0].describe() if self.violations else ""
+        return (
+            f"sanitizer[{self.executor}]: {self.n_violations} dependence "
+            f"violation(s) in {self.n_pairs} pairs; first: {head}"
+        )
+
+    def format(self, *, max_lines: int = 10) -> str:
+        lines = [self.summary()]
+        for v in self.violations[:max_lines]:
+            lines.append(f"  - {v.describe()}")
+        if self.n_violations > len(self.violations[:max_lines]):
+            lines.append(
+                f"  ... {self.n_violations - len(self.violations[:max_lines])}"
+                " more"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "executor": self.executor,
+            "clean": self.clean,
+            "n_accesses": self.n_accesses,
+            "n_pairs": self.n_pairs,
+            "n_violations": self.n_violations,
+            "seconds": self.seconds,
+            "violations": [
+                {
+                    "kind": v.kind,
+                    "var": v.var,
+                    "index": v.index,
+                    "producer": vars(v.producer),
+                    "consumer": vars(v.consumer),
+                }
+                for v in self.violations
+            ],
+        }
+
+    def raise_if_violations(self) -> None:
+        if not self.clean:
+            raise DependenceViolationError(self)
+
+
+# ----------------------------------------------------------------------
+# access-stream collection
+# ----------------------------------------------------------------------
+def collect_access_stream(
+    schedule: FusedSchedule, kernels: list[Kernel]
+) -> AccessStream:
+    """Assemble the element-granular access stream of *kernels*.
+
+    Walks each kernel's memoized access maps
+    (:meth:`~repro.kernels.base.Kernel.access_maps`); accesses of a
+    variable kind declared in ``atomic_update_vars`` enter the stream as
+    UPDATE entries.
+    """
+    offsets = schedule.offsets
+    var_names = tuple(sorted({v for k in kernels for v in k.all_vars}))
+    var_id = {v: i for i, v in enumerate(var_names)}
+    vs: list[np.ndarray] = []
+    es: list[np.ndarray] = []
+    gs: list[np.ndarray] = []
+    ks: list[np.ndarray] = []
+    ls: list[np.ndarray] = []
+    for ki, kern in enumerate(kernels):
+        upd = getattr(kern, "atomic_update_vars", {})
+        iters = np.arange(kern.n_iterations, dtype=np.int64)
+        for var in kern.all_vars:
+            rmap, wmap = kern.access_maps(var)
+            for kind_name, m in (("read", rmap), ("write", wmap)):
+                if m is None:
+                    continue
+                indptr, idx = m
+                if idx.shape[0] == 0:
+                    continue
+                gids = int(offsets[ki]) + np.repeat(iters, np.diff(indptr))
+                if kind_name in upd.get(var, ()):
+                    kind = UPDATE
+                else:
+                    kind = READ if kind_name == "read" else WRITE
+                n = idx.shape[0]
+                vs.append(np.full(n, var_id[var], dtype=np.int64))
+                es.append(np.asarray(idx, dtype=np.int64))
+                gs.append(gids.astype(np.int64))
+                ks.append(np.full(n, kind, dtype=np.int8))
+                ls.append(np.full(n, ki, dtype=np.int64))
+    if vs:
+        var = np.concatenate(vs)
+        elem = np.concatenate(es)
+        gid = np.concatenate(gs)
+        kind = np.concatenate(ks)
+        loop = np.concatenate(ls)
+    else:
+        var = elem = gid = loop = np.empty(0, dtype=np.int64)
+        kind = np.empty(0, dtype=np.int8)
+    return AccessStream(
+        var=var,
+        elem=elem,
+        gid=gid,
+        kind=kind,
+        loop=loop,
+        var_names=var_names,
+        n_vertices=schedule.n_vertices,
+    )
+
+
+# ----------------------------------------------------------------------
+# dependence-pair derivation (vectorized layer adjacency)
+# ----------------------------------------------------------------------
+def derive_dependence_pairs(stream: AccessStream) -> DependencePairs:
+    """All conflicting access pairs the schedule must order.
+
+    See the module docstring for the layer construction and why
+    adjacent-layer cross pairs are sufficient (transitive chaining).
+    """
+    n = stream.n_accesses
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return DependencePairs(empty, empty, empty, empty, empty, empty)
+    order = np.lexsort((stream.kind, stream.gid, stream.elem, stream.var))
+    var = stream.var[order]
+    elem = stream.elem[order]
+    gid = stream.gid[order]
+    kind = stream.kind[order].astype(np.int64)
+    loop = stream.loop[order]
+    # Collapse duplicate (var, elem, gid) entries to the strongest kind
+    # (READ < WRITE < UPDATE): an iteration reading an element it also
+    # writes imposes no extra cross-iteration ordering beyond the write,
+    # and a commutative RMW's read and write halves are one update.
+    dup = (var[1:] == var[:-1]) & (elem[1:] == elem[:-1]) & (gid[1:] == gid[:-1])
+    keep = np.concatenate([~dup, [True]])  # last of each run = max kind
+    var, elem, gid, kind, loop = (
+        a[keep] for a in (var, elem, gid, kind, loop)
+    )
+    n = var.shape[0]
+    # Segments: one per (var, elem); layers within a segment.
+    seg_start = np.empty(n, dtype=bool)
+    seg_start[0] = True
+    seg_start[1:] = (var[1:] != var[:-1]) | (elem[1:] != elem[:-1])
+    cont = np.zeros(n, dtype=bool)
+    cont[1:] = ~seg_start[1:] & (
+        ((kind[1:] == READ) & (kind[:-1] == READ))
+        | (
+            (kind[1:] == UPDATE)
+            & (kind[:-1] == UPDATE)
+            & (loop[1:] == loop[:-1])
+        )
+    )
+    layer_break = ~cont
+    layer_id = np.cumsum(layer_break) - 1  # per entry
+    layer_starts = np.nonzero(layer_break)[0]  # per layer
+    # Entries whose layer opens a segment pair with nothing; all others
+    # pair with every member of the previous layer (same segment).
+    first_in_seg = seg_start[layer_starts[layer_id]]
+    prev_start = np.where(
+        layer_id > 0, layer_starts[np.maximum(layer_id - 1, 0)], 0
+    )
+    prev_end = layer_starts[layer_id]
+    counts = np.where(first_in_seg, 0, prev_end - prev_start)
+    v_idx = np.repeat(np.arange(n, dtype=INDEX_DTYPE), counts)
+    u_idx = multi_range(prev_start, counts)
+    return DependencePairs(
+        u_gid=gid[u_idx],
+        v_gid=gid[v_idx],
+        var=var[u_idx],
+        elem=elem[u_idx],
+        kind_u=kind[u_idx],
+        kind_v=kind[v_idx],
+    )
+
+
+# ----------------------------------------------------------------------
+# per-executor happens-before coordinates
+# ----------------------------------------------------------------------
+def execution_coordinates(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    executor: str = "iter",
+    *,
+    min_batch: int = 4,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-vertex ``(s, w, t)`` happens-before coordinates.
+
+    ``t`` is the dispatch index within the vertex's w-partition under
+    the named executor; vertices sharing a ``t`` are concurrent (one
+    vectorized batch / level step).
+    """
+    sp, wp, pos = schedule.assignment()
+    sp = sp.astype(np.int64)
+    wp = wp.astype(np.int64)
+    if executor == "iter":
+        return sp, wp, pos.astype(np.int64)
+    offsets = schedule.offsets
+    loop_of = np.zeros(max(1, schedule.n_vertices), dtype=np.int64)
+    for k in range(len(kernels)):
+        loop_of[offsets[k] : offsets[k + 1]] = k
+    tt = np.zeros(schedule.n_vertices, dtype=np.int64)
+    if executor == "batched":
+        batchable = [getattr(k, "supports_batch", False) for k in kernels]
+        for _, _, verts in schedule.iter_all():
+            if verts.shape[0] == 0:
+                continue
+            loops = loop_of[verts]
+            boundaries = np.nonzero(np.diff(loops))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [verts.shape[0]]])
+            t = 0
+            for a, b in zip(starts, ends):
+                k = int(loops[a])
+                if batchable[k] and (b - a) >= min_batch:
+                    tt[verts[a:b]] = t
+                    t += 1
+                else:
+                    tt[verts[a:b]] = np.arange(t, t + (b - a))
+                    t += b - a
+        return sp, wp, tt
+    if executor == "plan":
+        from ..runtime.plan import plan_for
+
+        plan = plan_for(schedule, kernels, min_batch=min_batch)
+        next_t: dict[tuple[int, int], int] = {}
+        for step in plan.steps:
+            key = (step.s, step.w)
+            t = next_t.get(key, 0)
+            gids = np.asarray(step.iters, dtype=np.int64) + int(
+                offsets[step.loop]
+            )
+            if step.kind == "scalar":
+                tt[gids] = np.arange(t, t + gids.shape[0])
+                t += gids.shape[0]
+            else:  # "level" / "batch": one concurrent dispatch
+                tt[gids] = t
+                t += 1
+            next_t[key] = t
+        return sp, wp, tt
+    raise ValueError(
+        f"unknown executor {executor!r}; expected 'iter', 'batched' or 'plan'"
+    )
+
+
+# ----------------------------------------------------------------------
+# the sanitizer
+# ----------------------------------------------------------------------
+def sanitize_schedule(
+    schedule: FusedSchedule,
+    kernels: list[Kernel],
+    *,
+    executor: str = "iter",
+    min_batch: int = 4,
+    max_violations: int = 50,
+) -> SanitizeReport:
+    """Shadow-execute *schedule* and check every memory dependence.
+
+    Returns a :class:`SanitizeReport`; call
+    :meth:`SanitizeReport.raise_if_violations` (or pass
+    ``sanitize=True`` to an executor) to turn violations into a
+    :class:`DependenceViolationError`. Reported violations are capped at
+    *max_violations* (the count is exact either way).
+    """
+    if len(kernels) != len(schedule.loop_counts):
+        raise ValueError(
+            f"{len(kernels)} kernels for {len(schedule.loop_counts)} loops"
+        )
+    for k, kern in enumerate(kernels):
+        if kern.n_iterations != schedule.loop_counts[k]:
+            raise ValueError(
+                f"loop {k}: kernel has {kern.n_iterations} iterations, "
+                f"schedule expects {schedule.loop_counts[k]}"
+            )
+    t0 = time.perf_counter()
+    rec = current_recorder()
+    with rec.span(
+        "sanitize.run", executor=executor, vertices=schedule.n_vertices
+    ) as span:
+        sp, wp, tt = execution_coordinates(
+            schedule, kernels, executor, min_batch=min_batch
+        )
+        if np.any(sp < 0):
+            missing = np.nonzero(sp < 0)[0]
+            raise ScheduleError(
+                f"sanitizer needs a complete schedule: "
+                f"{missing.shape[0]} unscheduled vertices, e.g. {missing[:5]}"
+            )
+        stream = collect_access_stream(schedule, kernels)
+        pairs = derive_dependence_pairs(stream)
+        u, v = pairs.u_gid, pairs.v_gid
+        ordered = (sp[u] < sp[v]) | (
+            (sp[u] == sp[v]) & (wp[u] == wp[v]) & (tt[u] < tt[v])
+        )
+        bad = np.nonzero(~ordered)[0]
+        violations: list[Violation] = []
+        if bad.size:
+            # one report per distinct (u, v, var, dep-kind); elements of
+            # the same broken pair are redundant provenance
+            labels = np.array(
+                [
+                    _KIND_LABEL[(int(pairs.kind_u[i]), int(pairs.kind_v[i]))]
+                    for i in bad
+                ]
+            )
+            keys = np.stack(
+                [u[bad], v[bad], pairs.var[bad], pairs.elem[bad]], axis=1
+            )
+            seen: set[tuple] = set()
+            offsets = schedule.offsets
+            for row, (ug, vg, var_i, elem_i) in enumerate(keys.tolist()):
+                label = str(labels[row])
+                dedup = (ug, vg, var_i, label)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                if len(violations) < max_violations:
+                    violations.append(
+                        Violation(
+                            kind=label,
+                            var=stream.var_names[var_i],
+                            index=int(elem_i),
+                            producer=_site(ug, schedule, offsets, sp, wp, tt),
+                            consumer=_site(vg, schedule, offsets, sp, wp, tt),
+                        )
+                    )
+            n_violations = len(seen)
+        else:
+            n_violations = 0
+        seconds = time.perf_counter() - t0
+        report = SanitizeReport(
+            executor=executor,
+            n_accesses=stream.n_accesses,
+            n_pairs=pairs.n_pairs,
+            n_violations=n_violations,
+            violations=violations,
+            seconds=seconds,
+        )
+        span.set(pairs=pairs.n_pairs, violations=n_violations)
+        if rec.enabled:
+            rec.count(names.SANITIZE_ACCESSES, stream.n_accesses)
+            rec.count(names.SANITIZE_PAIRS, pairs.n_pairs)
+            rec.count(names.SANITIZE_VIOLATIONS, n_violations)
+            rec.count(names.SANITIZE_SECONDS, seconds)
+    return report
+
+
+def _site(gid, schedule, offsets, sp, wp, tt) -> AccessSite:
+    loop = int(np.searchsorted(offsets, gid, side="right") - 1)
+    return AccessSite(
+        loop=loop,
+        iteration=int(gid - offsets[loop]),
+        vertex=int(gid),
+        s=int(sp[gid]),
+        w=int(wp[gid]),
+        t=int(tt[gid]),
+    )

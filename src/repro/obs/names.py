@@ -63,6 +63,24 @@ CACHE_L1_HITS = "cache.l1_hits"
 CACHE_LLC_HITS = "cache.llc_hits"
 CACHE_MISSES = "cache.misses"
 
+# -- dynamic dependence sanitizer --------------------------------------
+SANITIZE_ACCESSES = "sanitize.accesses"
+SANITIZE_PAIRS = "sanitize.pairs"
+SANITIZE_VIOLATIONS = "sanitize.violations"
+SANITIZE_SECONDS = "sanitize.seconds"
+
+# -- measured-locality profiler ----------------------------------------
+LOCALITY_ACCESSES = "locality.accesses"
+LOCALITY_DISTINCT_LINES = "locality.distinct_lines"
+LOCALITY_MEASURED_REUSE = "locality.measured_reuse"
+LOCALITY_ESTIMATED_REUSE = "locality.estimated_reuse"
+LOCALITY_MEAN_REUSE_DISTANCE = "locality.mean_reuse_distance"
+LOCALITY_HIT_RATE = "locality.hit_rate"
+LOCALITY_COUNTERFACTUAL_HIT_RATE = "locality.counterfactual_hit_rate"
+LOCALITY_PACKING_GAP = "locality.packing_gap"
+LOCALITY_FALSE_SHARED_LINES = "locality.false_shared_lines"
+LOCALITY_SECONDS = "locality.seconds"
+
 # -- solvers -----------------------------------------------------------
 GS_CHUNKS = "gs.chunks"
 
@@ -101,6 +119,20 @@ REGISTRY: dict[str, tuple[str, str]] = {
     CACHE_L1_HITS: ("1", "simulated L1 hits"),
     CACHE_LLC_HITS: ("1", "simulated LLC hits"),
     CACHE_MISSES: ("1", "simulated DRAM accesses"),
+    SANITIZE_ACCESSES: ("1", "element accesses replayed by the sanitizer"),
+    SANITIZE_PAIRS: ("1", "conflicting access pairs checked for ordering"),
+    SANITIZE_VIOLATIONS: ("1", "dependence violations found by the sanitizer"),
+    SANITIZE_SECONDS: ("s", "wall-clock spent in the dependence sanitizer"),
+    LOCALITY_ACCESSES: ("1", "cache-line accesses replayed by the profiler"),
+    LOCALITY_DISTINCT_LINES: ("lines", "distinct cache lines touched"),
+    LOCALITY_MEASURED_REUSE: ("ratio", "reuse ratio measured from the access stream"),
+    LOCALITY_ESTIMATED_REUSE: ("ratio", "inspector's size-estimated reuse ratio"),
+    LOCALITY_MEAN_REUSE_DISTANCE: ("lines", "mean LRU stack distance of reused lines"),
+    LOCALITY_HIT_RATE: ("ratio", "modeled cache hit rate of the chosen packing"),
+    LOCALITY_COUNTERFACTUAL_HIT_RATE: ("ratio", "modeled hit rate of the other packing"),
+    LOCALITY_PACKING_GAP: ("ratio", "chosen-minus-counterfactual hit-rate gap"),
+    LOCALITY_FALSE_SHARED_LINES: ("lines", "lines written by >=2 w-partitions in one s-partition"),
+    LOCALITY_SECONDS: ("s", "wall-clock spent in the locality profiler"),
     GS_CHUNKS: ("1", "fused Gauss-Seidel chunks scheduled"),
 }
 

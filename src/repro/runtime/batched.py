@@ -38,10 +38,15 @@ def execute_schedule_batched(
     state: State,
     *,
     min_batch: int = 4,
+    sanitize: bool = False,
 ) -> State:
     """Execute *schedule* with vectorized batches where kernels allow.
 
     Semantics match :func:`repro.runtime.executor.execute_schedule`.
+    With ``sanitize=True`` the dynamic dependence sanitizer
+    (:func:`repro.obs.memtrace.sanitize_schedule`) checks every memory
+    dependence under *this executor's* happens-before model — members of
+    one vectorized batch count as concurrent — before anything runs.
 
     ``min_batch`` is the run length below which the per-iteration path
     is used instead of a vectorized batch. The tradeoff: every batch
@@ -59,6 +64,12 @@ def execute_schedule_batched(
     (``benchmarks/bench_executor_plans.py --min-batch``) expose the
     knob so the crossover can be measured rather than guessed.
     """
+    if sanitize:
+        from ..obs.memtrace import sanitize_schedule
+
+        sanitize_schedule(
+            schedule, kernels, executor="batched", min_batch=min_batch
+        ).raise_if_violations()
     if len(kernels) != len(schedule.loop_counts):
         raise ValueError(
             f"{len(kernels)} kernels for {len(schedule.loop_counts)} loops"

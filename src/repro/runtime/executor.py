@@ -55,13 +55,25 @@ def execute_schedule(
     schedule: FusedSchedule,
     kernels: list[Kernel],
     state: State,
+    *,
+    sanitize: bool = False,
 ) -> State:
     """Execute *schedule* against *state* (sequential-faithful order).
 
     Kernel ``setup`` hooks run first (they only touch kernel-owned
     outputs, so running them all upfront is safe); then every vertex in
     schedule order. Returns the mutated state.
+
+    With ``sanitize=True`` the dynamic dependence sanitizer
+    (:func:`repro.obs.memtrace.sanitize_schedule`) shadow-checks every
+    memory dependence under this executor's happens-before model first,
+    raising :class:`~repro.obs.memtrace.DependenceViolationError` before
+    any kernel code runs.
     """
+    if sanitize:
+        from ..obs.memtrace import sanitize_schedule
+
+        sanitize_schedule(schedule, kernels, executor="iter").raise_if_violations()
     if len(kernels) != len(schedule.loop_counts):
         raise ValueError(
             f"{len(kernels)} kernels for {len(schedule.loop_counts)} loops"

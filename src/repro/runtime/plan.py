@@ -73,6 +73,11 @@ class PlanStep:
     loop: int
     iters: np.ndarray
     precomp: Any = None
+    #: schedule coordinates of the dispatch (s-partition / w-partition);
+    #: the dependence sanitizer uses them to model plan-executor
+    #: happens-before, where one level/batch step is a concurrent unit
+    s: int = 0
+    w: int = 0
 
 
 @dataclass
@@ -152,7 +157,7 @@ def compile_plan(
     steps: list[PlanStep] = []
     n_level = n_batch = n_scalar_iters = n_batched_iters = 0
     with rec.span("plan.compile", vertices=schedule.n_vertices):
-        for _, _, verts in schedule.iter_all():
+        for s, w, verts in schedule.iter_all():
             if verts.shape[0] == 0:
                 continue
             loops = loop_of[verts]
@@ -177,19 +182,21 @@ def compile_plan(
                                     k,
                                     chunk,
                                     kern.precompute_level(chunk),
+                                    s=s,
+                                    w=w,
                                 )
                             )
                             n_level += 1
                             n_batched_iters += chunk.shape[0]
                         else:
-                            steps.append(PlanStep("scalar", k, chunk))
+                            steps.append(PlanStep("scalar", k, chunk, s=s, w=w))
                             n_scalar_iters += chunk.shape[0]
                 elif batch_capable[k] and iters.shape[0] >= min_batch:
-                    steps.append(PlanStep("batch", k, iters))
+                    steps.append(PlanStep("batch", k, iters, s=s, w=w))
                     n_batch += 1
                     n_batched_iters += iters.shape[0]
                 else:
-                    steps.append(PlanStep("scalar", k, iters))
+                    steps.append(PlanStep("scalar", k, iters, s=s, w=w))
                     n_scalar_iters += iters.shape[0]
     compile_seconds = time.perf_counter() - t0
     if rec.enabled:
@@ -244,6 +251,7 @@ def execute_schedule_planned(
     *,
     min_batch: int = 4,
     plan: ExecutionPlan | None = None,
+    sanitize: bool = False,
 ) -> State:
     """Execute *schedule* through its compiled plan.
 
@@ -251,7 +259,18 @@ def execute_schedule_planned(
     floating-point association order inside reductions (tests pin the
     tolerance; most kernels are bitwise-identical). Pass a prebuilt
     *plan* to bypass the ``schedule.meta`` cache entirely.
+
+    With ``sanitize=True`` the dynamic dependence sanitizer
+    (:func:`repro.obs.memtrace.sanitize_schedule`) checks every memory
+    dependence under the plan's happens-before model — one level/batch
+    step is a concurrent unit — before anything runs.
     """
+    if sanitize:
+        from ..obs.memtrace import sanitize_schedule
+
+        sanitize_schedule(
+            schedule, kernels, executor="plan", min_batch=min_batch
+        ).raise_if_violations()
     if plan is None:
         plan = plan_for(schedule, kernels, min_batch=min_batch)
     elif len(kernels) != len(plan.loop_counts):

@@ -39,6 +39,7 @@ def simulated_trace_events(
     t0_us: float = 0.0,
     pid: int = 0,
     report: MachineReport | None = None,
+    locality=None,
 ) -> tuple[list[dict], float]:
     """Simulate *schedule* and build its Chrome ``traceEvents`` list.
 
@@ -46,6 +47,11 @@ def simulated_trace_events(
     microseconds starting at *t0_us*, emitted under process id *pid*.
     Pass a precomputed *report* (from the same schedule/config/fidelity)
     to skip the simulation; otherwise one is run here.
+
+    *locality* (a :class:`repro.analytics.locality.LocalityReport` for
+    the same schedule) adds measured-locality counter tracks: per
+    s-partition working set and modeled hit rate, sampled at the
+    s-partition start like the attribution tracks.
     """
     cfg = config or MachineConfig()
     if report is None:
@@ -73,6 +79,9 @@ def simulated_trace_events(
     t_start = 0.0
     wait = report.wait_table
     n_threads = cfg.n_threads
+    loc_by_s = (
+        {sl.s: sl for sl in locality.s_partitions} if locality is not None else {}
+    )
     for s, wlist in enumerate(schedule.s_partitions):
         sp_busy = report.busy_cycles[s]
         for w, verts in enumerate(wlist):
@@ -141,6 +150,22 @@ def simulated_trace_events(
                 },
             )
         )
+        sl = loc_by_s.get(s)
+        if sl is not None:
+            events.append(
+                counter(
+                    "executor.locality.working_set (lines)",
+                    t0_us + us(t_start),
+                    {"lines": float(sl.working_set)},
+                )
+            )
+            events.append(
+                counter(
+                    "executor.locality.hit_rate",
+                    t0_us + us(t_start),
+                    {"hit_rate": float(sl.hit_rate)},
+                )
+            )
         t_start = sp_end + cfg.barrier_cycles
     if schedule.n_spartitions:
         # terminate the counter tracks at the end of the run
@@ -154,6 +179,21 @@ def simulated_trace_events(
         events.append(
             counter("executor.idle_fraction", t0_us + us(t_start), {"idle": 0.0})
         )
+        if loc_by_s:
+            events.append(
+                counter(
+                    "executor.locality.working_set (lines)",
+                    t0_us + us(t_start),
+                    {"lines": 0.0},
+                )
+            )
+            events.append(
+                counter(
+                    "executor.locality.hit_rate",
+                    t0_us + us(t_start),
+                    {"hit_rate": 0.0},
+                )
+            )
     return events, us(report.total_cycles)
 
 

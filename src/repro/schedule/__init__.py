@@ -10,6 +10,7 @@
 """
 
 from .cache import (
+    KEY_SCHEMA,
     ScheduleCache,
     get_default_cache,
     schedule_key,
@@ -49,6 +50,7 @@ __all__ = [
     "pattern_fingerprint",
     "save_schedule",
     "ScheduleCache",
+    "KEY_SCHEMA",
     "schedule_key",
     "get_default_cache",
     "set_default_cache",

@@ -48,7 +48,17 @@ __all__ = [
     "schedule_key",
     "get_default_cache",
     "set_default_cache",
+    "KEY_SCHEMA",
 ]
+
+#: Version of the key derivation itself. Bump whenever the *semantics*
+#: behind a key change — what the schedulers read, how packing is
+#: decided, the serialized schedule layout — so every on-disk entry
+#: written under the old scheme fails closed to a cache miss instead of
+#: resurrecting a schedule built under different rules. (Schema 2:
+#: dynamic-sanitizer era; kernels declare commutative updates that the
+#: inspector's access maps now expose.)
+KEY_SCHEMA = 2
 
 
 def schedule_key(dags, inter, scheduler, r, reuse_ratio, params=None) -> str:
@@ -56,8 +66,9 @@ def schedule_key(dags, inter, scheduler, r, reuse_ratio, params=None) -> str:
 
     SHA-256 over the DAG and InterDep structure arrays (via
     :func:`pattern_fingerprint`), the per-vertex weights (same pattern
-    with different costs partitions differently), the loop pairing, and
-    the full parameter set ``(scheduler, r, reuse_ratio, params)``.
+    with different costs partitions differently), the loop pairing, the
+    full parameter set ``(scheduler, r, reuse_ratio, params)``, and the
+    key-derivation version :data:`KEY_SCHEMA`.
     Floats are hashed via ``repr`` — bit-exact, no rounding surprises.
     """
     h = hashlib.sha256()
@@ -66,6 +77,7 @@ def schedule_key(dags, inter, scheduler, r, reuse_ratio, params=None) -> str:
     for d in dags:
         h.update(np.ascontiguousarray(d.weights, dtype=np.float64).tobytes())
     spec = {
+        "schema": KEY_SCHEMA,
         "loops": [int(d.n) for d in dags],
         "pairs": sorted(inter),
         "scheduler": str(scheduler),

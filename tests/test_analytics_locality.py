@@ -1,0 +1,254 @@
+"""Measured-locality profiler: reuse-distance histograms, measured
+reuse vs the inspector's size-based estimate, counterfactual packing,
+and the doctor rules the measurements enable."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import fuse
+from repro.analytics import diagnose, profile_locality
+from repro.analytics.locality import _BUCKETS, reuse_distance_histogram
+from repro.fusion import build_combination, repack_schedule
+from repro.obs import Recorder, names, sanitize_schedule
+from repro.obs.exporters import export_perfetto
+from repro.obs.recorder import set_recorder
+
+
+def profiled(cid, a, *, capacity_lines=16, seed=None):
+    kernels, _ = build_combination(cid, a, seed=cid if seed is None else seed)
+    fl = fuse(kernels, 6)
+    report = profile_locality(
+        fl.schedule,
+        kernels,
+        dags=fl.dags,
+        inter=fl.inter,
+        estimated_reuse=fl.reuse_ratio,
+        capacity_lines=capacity_lines,
+    )
+    return fl, kernels, report
+
+
+# ----------------------------------------------------------------------
+# reuse-distance histogram (exact LRU stack distances)
+# ----------------------------------------------------------------------
+def test_histogram_alternating_pair():
+    hist, hit_rate, mean = reuse_distance_histogram(
+        np.array([0, 1, 0, 1]), capacity_lines=4
+    )
+    assert hist[0] == 2  # two cold misses
+    assert hist[1] == 2  # two reuses at stack distance 1 (< 4)
+    assert hist.sum() == 4
+    assert hit_rate == 0.5
+    assert mean == 1.0
+
+
+def test_histogram_capacity_turns_reuse_into_miss():
+    stream = np.array([0, 1, 2, 0])  # distance-2 reuse of line 0
+    _, roomy, _ = reuse_distance_histogram(stream, capacity_lines=4)
+    _, tight, _ = reuse_distance_histogram(stream, capacity_lines=2)
+    assert roomy == 0.25
+    assert tight == 0.0
+
+
+def test_histogram_empty_and_cold_only():
+    hist, hit_rate, mean = reuse_distance_histogram(
+        np.array([], dtype=np.int64), capacity_lines=8
+    )
+    assert hist.sum() == 0 and hit_rate == 0.0 and mean == 0.0
+    hist, hit_rate, mean = reuse_distance_histogram(
+        np.arange(10), capacity_lines=8
+    )
+    assert hist[0] == 10 and hist[1:].sum() == 0
+    assert hit_rate == 0.0 and mean == 0.0
+
+
+def test_histogram_shape_matches_buckets():
+    hist, _, _ = reuse_distance_histogram(np.array([1, 1]), capacity_lines=2)
+    assert hist.shape == (len(_BUCKETS) + 2,)  # cold + buckets + overflow
+
+
+# ----------------------------------------------------------------------
+# measured reuse vs the inspector's estimate (Table 1)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cid", (1, 2, 3, 4, 6))
+def test_measured_reuse_agrees_in_direction(cid, lap2d_nd):
+    fl, _, report = profiled(cid, lap2d_nd)
+    assert (report.measured_reuse >= 1.0) == (fl.reuse_ratio >= 1.0)
+    assert report.measured_packing == fl.schedule.packing
+    assert report.estimated_reuse == pytest.approx(fl.reuse_ratio)
+
+
+def test_combo5_measures_below_its_estimate(lap2d_nd):
+    # ILU0->TRSV: the TRSV reads only the L half of the LU factor, so
+    # the element-accurate measurement lands well under the size-based
+    # estimate that justified interleaving — the motivating case for
+    # the low-measured-reuse doctor rule
+    fl, _, report = profiled(5, lap2d_nd)
+    assert fl.reuse_ratio >= 1.0
+    assert fl.schedule.packing == "interleaved"
+    assert report.measured_reuse < 0.5
+    assert report.measured_packing == "separated"
+
+
+# ----------------------------------------------------------------------
+# report structure
+# ----------------------------------------------------------------------
+def test_report_partitions_consistent(lap2d_nd):
+    fl, _, report = profiled(1, lap2d_nd)
+    sched = fl.schedule
+    assert len(report.s_partitions) == len(sched.s_partitions)
+    assert len(report.w_partitions) == sum(
+        len(ws) for ws in sched.s_partitions
+    )
+    assert report.n_accesses == sum(w.n_accesses for w in report.w_partitions)
+    assert report.n_accesses == sum(s.n_accesses for s in report.s_partitions)
+    for w in report.w_partitions:
+        assert 0.0 <= w.hit_rate <= 1.0
+        assert w.histogram.sum() == w.n_accesses
+        assert w.working_set <= report.distinct_lines
+    assert 0.0 <= report.hit_rate <= 1.0
+    assert 0 <= report.false_shared_lines <= report.distinct_lines
+
+
+def test_counterfactual_packing_replayed(lap2d_nd):
+    fl, kernels, report = profiled(1, lap2d_nd)
+    assert report.packing == "interleaved"
+    assert report.counterfactual_packing == "separated"
+    assert report.counterfactual_hit_rate is not None
+    assert report.packing_gap == pytest.approx(
+        report.hit_rate - report.counterfactual_hit_rate
+    )
+    # the gap is a real difference of replays, not a copy
+    repacked = repack_schedule(fl.schedule, fl.dags, fl.inter, "separated")
+    assert repacked.packing == "separated"
+    assert sanitize_schedule(repacked, kernels).clean
+
+
+def test_counterfactual_can_be_disabled(lap2d_nd):
+    kernels, _ = build_combination(1, lap2d_nd, seed=1)
+    fl = fuse(kernels, 6)
+    report = profile_locality(
+        fl.schedule, kernels, counterfactual=False, capacity_lines=16
+    )
+    assert report.counterfactual_hit_rate is None
+    assert report.packing_gap is None
+
+
+def test_report_to_json_fields(lap2d_nd):
+    _, _, report = profiled(1, lap2d_nd)
+    payload = json.loads(json.dumps(report.to_json()))
+    for key in (
+        "packing",
+        "hit_rate",
+        "measured_reuse",
+        "estimated_reuse",
+        "measured_packing",
+        "packing_gap",
+        "false_shared_lines",
+        "w_partitions",
+        "s_partitions",
+    ):
+        assert key in payload
+    assert payload["w_partitions"][0]["histogram"]
+    assert "hit_rate" in report.summary() or "hit_rate=" in report.summary()
+
+
+def test_repack_schedule_validates_packing_arg(lap2d_nd):
+    kernels, _ = build_combination(1, lap2d_nd, seed=1)
+    fl = fuse(kernels, 6)
+    with pytest.raises(ValueError, match="packing"):
+        repack_schedule(fl.schedule, fl.dags, fl.inter, "diagonal")
+
+
+# ----------------------------------------------------------------------
+# counters and the unified trace
+# ----------------------------------------------------------------------
+def test_emit_registers_only_known_counters(lap2d_nd):
+    _, _, report = profiled(1, lap2d_nd)
+    rec = Recorder()
+    prev = set_recorder(rec)
+    try:
+        report.emit()
+    finally:
+        set_recorder(prev)
+    assert rec.counters[names.LOCALITY_HIT_RATE] == pytest.approx(
+        report.hit_rate
+    )
+    assert rec.counters[names.LOCALITY_MEASURED_REUSE] == pytest.approx(
+        report.measured_reuse
+    )
+    assert names.LOCALITY_PACKING_GAP in rec.counters
+    for name in rec.counters:
+        assert name in names.REGISTRY
+
+
+def test_perfetto_trace_carries_locality_tracks(tmp_path, lap2d_nd):
+    fl, kernels, report = profiled(1, lap2d_nd)
+    rec = Recorder()
+    out = export_perfetto(
+        rec,
+        tmp_path / "trace.json",
+        schedule=fl.schedule,
+        kernels=kernels,
+        locality=report,
+    )
+    payload = json.loads(out.read_text())
+    counter_names = {
+        e["name"] for e in payload["traceEvents"] if e.get("ph") == "C"
+    }
+    assert "executor.locality.working_set (lines)" in counter_names
+    assert "executor.locality.hit_rate" in counter_names
+    loc = payload["otherData"]["locality"]
+    assert loc["packing"] == report.packing
+    assert loc["measured_reuse"] == pytest.approx(report.measured_reuse)
+
+
+# ----------------------------------------------------------------------
+# doctor integration
+# ----------------------------------------------------------------------
+def test_doctor_low_measured_reuse_fires_on_combo5(lap2d_nd):
+    fl, kernels, report = profiled(5, lap2d_nd)
+    dr = diagnose(fl.schedule, kernels, locality=report)
+    rules = {f.rule for f in dr.findings}
+    assert "low-measured-reuse" in rules
+    finding = next(f for f in dr.findings if f.rule == "low-measured-reuse")
+    assert finding.severity == "warning"
+    assert dr.meta["measured_locality"] is True
+
+
+def test_doctor_measured_packing_quiet_when_agreeing(lap2d_nd):
+    fl, kernels, report = profiled(1, lap2d_nd)
+    dr = diagnose(fl.schedule, kernels, locality=report)
+    assert "low-measured-reuse" not in {f.rule for f in dr.findings}
+
+
+def test_doctor_false_sharing_rule_uses_threshold(lap2d_nd):
+    from repro.analytics import DoctorThresholds
+
+    fl, kernels, report = profiled(1, lap2d_nd)
+    assert report.false_shared_lines > 0  # precondition of the scenario
+    sensitive = diagnose(
+        fl.schedule,
+        kernels,
+        locality=report,
+        thresholds=DoctorThresholds(false_sharing_share=0.0),
+    )
+    assert "false-sharing-risk" in {f.rule for f in sensitive.findings}
+    deaf = diagnose(
+        fl.schedule,
+        kernels,
+        locality=report,
+        thresholds=DoctorThresholds(false_sharing_share=1.0),
+    )
+    assert "false-sharing-risk" not in {f.rule for f in deaf.findings}
+
+
+def test_doctor_without_locality_unchanged(lap2d_nd):
+    kernels, _ = build_combination(1, lap2d_nd, seed=1)
+    fl = fuse(kernels, 6)
+    dr = diagnose(fl.schedule, kernels)
+    assert dr.meta["measured_locality"] is False
+    assert "low-measured-reuse" not in {f.rule for f in dr.findings}
+    assert "false-sharing-risk" not in {f.rule for f in dr.findings}

@@ -215,6 +215,132 @@ class TestBenchDiffCommand:
         assert "--fresh" in capsys.readouterr().err
 
 
+class TestSanitizeCommand:
+    def test_sanitize_all_executors_clean(self, capsys):
+        rc = main(["sanitize", "--matrix", "lap2d:8", "--combo", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for executor in ("iter", "batched", "plan"):
+            assert f"sanitizer[{executor}]: clean" in out
+
+    def test_sanitize_single_executor_and_json(self, tmp_path, capsys):
+        import json
+
+        jp = tmp_path / "san.json"
+        rc = main(
+            ["sanitize", "--matrix", "lap2d:8", "--combo", "3",
+             "--executor", "batched", "--json", str(jp)]
+        )
+        assert rc == 0
+        payload = json.loads(jp.read_text())
+        assert len(payload) == 1
+        assert payload[0]["executor"] == "batched"
+        assert payload[0]["clean"] is True
+
+    def test_fuse_sanitize_flag(self, capsys):
+        rc = main(
+            ["fuse", "--matrix", "lap2d:8", "--combo", "1", "--sanitize"]
+        )
+        assert rc == 0
+        assert "sanitizer" in capsys.readouterr().out
+
+    def test_gs_sanitize_flag(self, capsys):
+        rc = main(
+            ["gs", "--matrix", "lap2d:8", "--tol", "1e-6", "--sanitize"]
+        )
+        assert rc == 0
+        assert "sanitizer" in capsys.readouterr().out
+
+
+class TestLocalityCommand:
+    def test_locality_summary_and_json(self, tmp_path, capsys):
+        import json
+
+        jp = tmp_path / "loc.json"
+        rc = main(
+            ["locality", "--matrix", "lap2d:8", "--combo", "1",
+             "--capacity-lines", "16", "--json", str(jp)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "locality[" in out and "measured ratio selects" in out
+        payload = json.loads(jp.read_text())
+        assert payload["packing"] in ("interleaved", "separated")
+        assert payload["w_partitions"]
+
+    def test_locality_trace_carries_counter_tracks(self, tmp_path, capsys):
+        import json
+
+        tp = tmp_path / "trace.json"
+        rc = main(
+            ["locality", "--matrix", "lap2d:8", "--combo", "1",
+             "--trace", str(tp)]
+        )
+        assert rc == 0
+        payload = json.loads(tp.read_text())
+        counter_names = {
+            e["name"] for e in payload["traceEvents"] if e.get("ph") == "C"
+        }
+        assert "executor.locality.hit_rate" in counter_names
+        assert payload["otherData"]["locality"]["packing"]
+
+    def test_doctor_locality_flag(self, capsys):
+        rc = main(
+            ["doctor", "--matrix", "lap2d:8", "--combo", "5", "--locality"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "locality[" in out and "schedule doctor" in out
+
+
+class TestInputArtifactErrors:
+    def test_missing_matrix_file_is_clear_error(self, capsys):
+        rc = main(["info", "--matrix", "/no/such/file.mtx"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read matrix")
+        assert "Traceback" not in err
+
+    def test_matrix_directory_is_clear_error(self, tmp_path, capsys):
+        rc = main(["fuse", "--matrix", str(tmp_path / "d.mtx")])
+        assert rc == 2
+        assert "error: cannot read matrix" in capsys.readouterr().err
+
+    def test_malformed_matrix_file_is_clear_error(self, tmp_path, capsys):
+        p = tmp_path / "garbage.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\nnope\n")
+        rc = main(["info", "--matrix", str(p)])
+        assert rc == 2
+        assert "error: cannot read matrix" in capsys.readouterr().err
+
+    def test_corrupt_bench_results_json_is_clear_error(self, tmp_path, capsys):
+        (tmp_path / "fig9_gauss_seidel.json").write_text("{not json")
+        rc = main(
+            ["bench-diff", "--fresh", str(tmp_path),
+             "--bench", "fig9_gauss_seidel"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read benchmark results" in err
+        assert "Traceback" not in err
+
+    def test_wrong_shape_bench_results_json_is_clear_error(
+        self, tmp_path, capsys
+    ):
+        # Valid JSON, wrong shape: a list (e.g. a sanitize report dropped
+        # into the results dir) must not raise AttributeError downstream.
+        (tmp_path / "fig9_gauss_seidel.json").write_text("[{\"clean\": true}]")
+        rc = main(
+            ["bench-diff", "--fresh", str(tmp_path),
+             "--bench", "fig9_gauss_seidel"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error: cannot read benchmark results" in err
+        assert "expected a results object" in err
+        assert "Traceback" not in err
+
+
 class TestProfiling:
     def test_profile_fields(self, lap2d_nd):
         from repro import fuse

@@ -1,0 +1,74 @@
+"""Docs stay in sync with the code they describe.
+
+The counter table in ``docs/observability.md`` is generated from
+``repro.obs.names.REGISTRY`` by ``scripts/gen_counter_table.py``; this
+test runs the generator's ``--check`` mode, so adding a counter without
+regenerating the table fails CI with the exact command to run."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_counter_table", REPO / "scripts" / "gen_counter_table.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_counter_table_in_sync(capsys):
+    gen = load_generator()
+    assert gen.main(["--check"]) == 0, capsys.readouterr().err
+
+
+def test_every_registered_counter_documented():
+    from repro.obs.names import REGISTRY
+
+    doc = (REPO / "docs" / "observability.md").read_text()
+    for name in REGISTRY:
+        assert f"`{name}`" in doc, f"{name} missing from observability.md"
+
+
+def test_generator_detects_drift(tmp_path, monkeypatch, capsys):
+    gen = load_generator()
+    doc = tmp_path / "observability.md"
+    doc.write_text(
+        f"intro\n\n{gen.BEGIN}\n| counter | unit | meaning |\n"
+        f"|---|---|---|\n| `stale.name` | 1 | gone |\n{gen.END}\n\ntail\n"
+    )
+    monkeypatch.setattr(gen, "DOC", doc)
+    assert gen.main(["--check"]) == 1
+    assert "out of date" in capsys.readouterr().err
+    # write mode repairs it, after which --check passes
+    assert gen.main([]) == 0
+    assert gen.main(["--check"]) == 0
+    text = doc.read_text()
+    assert "stale.name" not in text
+    assert text.startswith("intro") and text.rstrip().endswith("tail")
+
+
+def test_generator_requires_markers(tmp_path, monkeypatch):
+    gen = load_generator()
+    doc = tmp_path / "observability.md"
+    doc.write_text("no markers here\n")
+    monkeypatch.setattr(gen, "DOC", doc)
+    with pytest.raises(SystemExit, match="markers"):
+        gen.main(["--check"])
+
+
+def test_docs_cross_link_sanitizer_and_locality():
+    obs = (REPO / "docs" / "observability.md").read_text()
+    assert "repro.obs.memtrace" in obs
+    assert "profile_locality" in obs
+    assert "repack_schedule" in obs
+    api = (REPO / "docs" / "api.md").read_text()
+    assert "sanitize_schedule" in api
+    assert "profile_locality" in api
+    readme = (REPO / "README.md").read_text()
+    assert "sanitize" in readme and "locality" in readme

@@ -241,6 +241,35 @@ class TestScheduleCache:
         ]
         assert schedule_key(heavier, inter, "ico", 4, reuse, {}) != base
 
+    def test_key_schema_versions_the_key(self, monkeypatch):
+        kernels = self._problem()
+        from repro.fusion.fused import inspect_loops
+        from repro.schedule import cache as cache_mod
+
+        dags, inter, reuse = inspect_loops(kernels)
+        base = schedule_key(dags, inter, "ico", 4, reuse, {})
+        monkeypatch.setattr(
+            cache_mod, "KEY_SCHEMA", cache_mod.KEY_SCHEMA + 1
+        )
+        assert schedule_key(dags, inter, "ico", 4, reuse, {}) != base
+
+    def test_old_schema_disk_entries_fail_closed(self, tmp_path, monkeypatch):
+        # an entry persisted under the previous key derivation must
+        # never resolve after a schema bump: its key simply ceases to
+        # exist, so the lookup is a miss and the schedule is rebuilt
+        from repro.schedule import cache as cache_mod
+
+        kernels = self._problem()
+        monkeypatch.setattr(cache_mod, "KEY_SCHEMA", cache_mod.KEY_SCHEMA - 1)
+        old = ScheduleCache(directory=tmp_path)
+        assert fuse(kernels, 4, cache=old).meta["cache"] == "miss"
+        assert list(tmp_path.glob("sched-*.npz"))  # persisted under old key
+        monkeypatch.undo()  # current schema again
+        fresh = ScheduleCache(directory=tmp_path)
+        f2 = fuse(kernels, 4, cache=fresh)
+        assert f2.meta["cache"] == "miss"  # stale entry is unreachable
+        f2.validate()
+
     def test_disk_roundtrip_and_stale_fingerprint(self, tmp_path):
         kernels = self._problem()
         cache = ScheduleCache(directory=tmp_path)
